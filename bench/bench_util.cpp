@@ -1,0 +1,142 @@
+#include "bench_util.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "baselines/brute_force.hpp"
+#include "core/error.hpp"
+#include "core/parallel.hpp"
+#include "core/rng.hpp"
+#include "datasets/lidar.hpp"
+#include "datasets/nbody.hpp"
+#include "datasets/surface.hpp"
+
+namespace rtnn::bench {
+
+double bench_scale() {
+  if (const char* env = std::getenv("RTNN_BENCH_SCALE")) {
+    const double s = std::atof(env);
+    if (s > 0.0) return std::max(s, 0.002);
+  }
+  return 0.02;
+}
+
+float auto_radius(const data::PointCloud& points, std::uint32_t k) {
+  RTNN_CHECK(!points.empty(), "empty dataset");
+  // Median K-th-neighbor distance over 64 sampled queries, brute force.
+  Pcg32 rng(999);
+  const std::size_t samples = 64;
+  std::vector<Vec3> queries(samples);
+  for (auto& q : queries) {
+    q = points[rng.next_bounded(static_cast<std::uint32_t>(points.size()))];
+  }
+  const auto knn = baselines::brute_force_knn(points, queries, 1e30f, k);
+  std::vector<float> kth;
+  for (std::size_t q = 0; q < samples; ++q) {
+    const auto row = knn.neighbors(q);
+    if (row.empty()) continue;
+    kth.push_back(distance(points[row.back()], queries[q]));
+  }
+  RTNN_CHECK(!kth.empty(), "auto_radius failed");
+  std::nth_element(kth.begin(), kth.begin() + kth.size() / 2, kth.end());
+  const float median = kth[kth.size() / 2];
+  return std::max(median * 1.5f, 1e-6f);
+}
+
+namespace {
+
+BenchDataset make_dataset(const std::string& name, data::PointCloud points,
+                          std::uint32_t k) {
+  BenchDataset ds;
+  ds.name = name;
+  ds.points = std::move(points);
+  ds.radius = auto_radius(ds.points, k);
+  return ds;
+}
+
+std::size_t scaled(double paper_points, double scale) {
+  return static_cast<std::size_t>(std::max(2000.0, paper_points * scale));
+}
+
+}  // namespace
+
+BenchDataset paper_dataset(const std::string& name, double scale, std::uint32_t k) {
+  auto lidar = [&](double n, std::uint64_t seed) {
+    data::LidarParams params;
+    params.target_points = scaled(n, scale);
+    params.seed = seed;
+    return data::lidar_scan(params);
+  };
+  auto nbody = [&](double n, std::uint64_t seed) {
+    data::NBodyParams params;
+    params.target_points = scaled(n, scale);
+    params.seed = seed;
+    return data::nbody_cluster(params);
+  };
+  auto surface = [&](data::SurfaceModel model, double n, std::uint64_t seed) {
+    data::SurfaceParams params;
+    params.model = model;
+    params.target_points = scaled(n, scale);
+    params.seed = seed;
+    return data::surface_scan(params);
+  };
+
+  if (name == "KITTI-1M") return make_dataset(name, lidar(1e6, 41), k);
+  if (name == "KITTI-6M") return make_dataset(name, lidar(6e6, 42), k);
+  if (name == "KITTI-12M") return make_dataset(name, lidar(12e6, 43), k);
+  if (name == "KITTI-25M") return make_dataset(name, lidar(25e6, 44), k);
+  if (name == "NBody-9M") return make_dataset(name, nbody(9e6, 45), k);
+  if (name == "NBody-10M") return make_dataset(name, nbody(10e6, 46), k);
+  if (name == "Bunny-360K")
+    return make_dataset(name, surface(data::SurfaceModel::kBunny, 3.6e5, 47), k);
+  if (name == "Dragon-3.6M")
+    return make_dataset(name, surface(data::SurfaceModel::kDragon, 3.6e6, 48), k);
+  if (name == "Buddha-4.6M")
+    return make_dataset(name, surface(data::SurfaceModel::kBuddha, 4.6e6, 49), k);
+  throw Error("unknown paper dataset: " + name);
+}
+
+std::vector<BenchDataset> paper_datasets(double scale, std::uint32_t k) {
+  std::vector<BenchDataset> all;
+  for (const char* name :
+       {"KITTI-1M", "KITTI-6M", "KITTI-12M", "KITTI-25M", "NBody-9M", "NBody-10M",
+        "Bunny-360K", "Dragon-3.6M", "Buddha-4.6M"}) {
+    all.push_back(paper_dataset(name, scale, k));
+  }
+  return all;
+}
+
+double time_once(const std::function<void()>& fn) {
+  Timer timer;
+  fn();
+  return timer.elapsed();
+}
+
+double geomean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double log_sum = 0.0;
+  for (const double v : values) log_sum += std::log(std::max(v, 1e-300));
+  return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+float paper_radius(const std::string& name, const BenchDataset& ds) {
+  if (name.rfind("KITTI", 0) == 0) return 3.0f;
+  if (name.rfind("NBody", 0) == 0) return 10.0f;
+  return ds.radius;
+}
+
+void print_figure_header(const std::string& figure, const std::string& paper_result,
+                         const std::string& note) {
+  std::cout << "\n================================================================\n";
+  std::cout << figure << '\n';
+  std::cout << "paper: " << paper_result << '\n';
+  if (!note.empty()) std::cout << "note:  " << note << '\n';
+  std::cout << "scale: " << bench_scale() << "x paper sizes, threads=" << num_threads()
+            << '\n';
+  std::cout << "================================================================\n";
+}
+
+}  // namespace rtnn::bench

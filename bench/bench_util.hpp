@@ -1,0 +1,65 @@
+// Shared infrastructure for the figure-reproduction harnesses.
+//
+// Every bench binary regenerates one figure of the paper's evaluation
+// (see DESIGN.md section 4 for the index). Datasets are the synthetic
+// stand-ins of DESIGN.md section 2, sized by RTNN_BENCH_SCALE (default
+// 0.02 — i.e. KITTI-25M becomes 500k points) so the whole suite runs in
+// minutes on a CPU; the paper's *shapes* are preserved, absolute numbers
+// are not (different substrate).
+//
+// Environment knobs:
+//   RTNN_BENCH_SCALE   dataset scale factor relative to the paper (float)
+//   RTNN_THREADS       worker threads (models the 2080 vs 2080Ti pair)
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/timing.hpp"
+#include "core/vec3.hpp"
+#include "datasets/point_cloud.hpp"
+
+namespace rtnn::bench {
+
+/// Scale factor from RTNN_BENCH_SCALE (default 0.02, clamped to ≥0.002).
+double bench_scale();
+
+/// One evaluation dataset, named as in the paper.
+struct BenchDataset {
+  std::string name;        // e.g. "KITTI-12M" (paper name; actual size scaled)
+  data::PointCloud points;
+  float radius = 0.0f;     // auto-fitted search radius (~2K expected neighbors)
+};
+
+/// The nine datasets of Figure 11, at `scale` times the paper's sizes.
+/// `k` is the neighbor budget used to auto-fit each radius.
+std::vector<BenchDataset> paper_datasets(double scale, std::uint32_t k);
+
+/// A single dataset by paper name ("KITTI-12M", "NBody-9M", "Buddha-4.6M", ...).
+BenchDataset paper_dataset(const std::string& name, double scale, std::uint32_t k);
+
+/// Radius such that a K-neighborhood is comfortably contained (median
+/// K-th-neighbor distance of sampled queries, times 1.5).
+float auto_radius(const data::PointCloud& points, std::uint32_t k);
+
+/// Physically-motivated search radius per dataset family, independent of
+/// the point-count scale: 3 m for LiDAR scenes (object scale), 10 Mpc/h
+/// for the cosmological box (cluster scale). Surface models keep the
+/// density-fitted radius. Used by the partitioning-centric harnesses
+/// (Figures 12/13/16) where the paper's regime has the 2r AABB enclosing
+/// far more than K neighbors.
+float paper_radius(const std::string& name, const BenchDataset& ds);
+
+/// Wall-clock of one invocation.
+double time_once(const std::function<void()>& fn);
+
+/// Geometric mean.
+double geomean(const std::vector<double>& values);
+
+/// Standard header: figure id, what the paper showed, what this harness
+/// does differently (substrate note).
+void print_figure_header(const std::string& figure, const std::string& paper_result,
+                         const std::string& note = "");
+
+}  // namespace rtnn::bench

@@ -1,0 +1,70 @@
+// Extension experiment (paper section 8, "Approximate Neighbor Search"):
+// the speed/recall trade-off of (a) shrinking AABBs below the exact width
+// and (b) eliding the sphere test entirely.
+//
+// Paper: "Speedups from this approximation would be significant, given
+// that Step 2 is much more costly than Step 1"; shrunken AABBs trade
+// returned-neighbor count for time (section 3.2.2's sensitivity). Not a
+// paper figure — this regenerates the future-work claims quantitatively.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "rtnn/rtnn.hpp"
+
+using namespace rtnn;
+
+int main() {
+  const double scale = bench::bench_scale();
+  bench::print_figure_header(
+      "Extension — approximate search (paper section 8)",
+      "smaller AABBs and an elided sphere test trade recall for speed, "
+      "with a sqrt(3)*r error bound for the latter");
+
+  bench::BenchDataset ds = bench::paper_dataset("Buddha-4.6M", scale, 16);
+  SearchParams params;
+  params.mode = SearchMode::kRange;
+  params.radius = ds.radius;
+  params.k = 64;
+  params.store_indices = false;
+  NeighborSearch search;
+  search.set_points(ds.points);
+
+  // Exact reference.
+  NeighborSearch::Report exact_report;
+  const auto exact = search.search(ds.points, params, &exact_report);
+  std::uint64_t exact_total = 0;
+  for (std::size_t q = 0; q < ds.points.size(); ++q) exact_total += exact.count(q);
+
+  std::printf("%12s %14s %12s %12s\n", "config", "search[s]", "recall", "IS calls");
+  std::printf("%12s %14.3f %11.1f%% %12llu\n", "exact", exact_report.time.total(),
+              100.0, static_cast<unsigned long long>(exact_report.stats.is_calls));
+
+  for (const float aabb_scale : {0.8f, 0.6f, 0.4f}) {
+    params.aabb_scale = aabb_scale;
+    params.elide_sphere_test = false;
+    NeighborSearch::Report report;
+    const auto got = search.search(ds.points, params, &report);
+    std::uint64_t total = 0;
+    for (std::size_t q = 0; q < ds.points.size(); ++q) total += got.count(q);
+    char label[32];
+    std::snprintf(label, sizeof(label), "scale=%.1f", aabb_scale);
+    std::printf("%12s %14.3f %11.1f%% %12llu\n", label, report.time.total(),
+                100.0 * static_cast<double>(total) / static_cast<double>(exact_total),
+                static_cast<unsigned long long>(report.stats.is_calls));
+  }
+
+  params.aabb_scale = 1.0f;
+  params.elide_sphere_test = true;
+  NeighborSearch::Report elide_report;
+  const auto elided = search.search(ds.points, params, &elide_report);
+  std::uint64_t elided_total = 0;
+  for (std::size_t q = 0; q < ds.points.size(); ++q) elided_total += elided.count(q);
+  std::printf("%12s %14.3f %11.1f%% %12llu  (neighbors within sqrt(3)r)\n", "elide-IS",
+              elide_report.time.total(),
+              100.0 * static_cast<double>(elided_total) / static_cast<double>(exact_total),
+              static_cast<unsigned long long>(elide_report.stats.is_calls));
+
+  std::puts("\nexpected shape: recall and IS calls fall with aabb_scale; elide-IS");
+  std::puts("over-returns (>100%) but is cheapest per candidate.");
+  return 0;
+}

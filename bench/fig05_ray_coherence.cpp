@@ -1,0 +1,92 @@
+// Figure 5: search time vs number of queries, raster-scan-ordered vs
+// randomly-ordered rays.
+//
+// Paper: "Searching with arbitrarily-ordered rays is consistently ~5 times
+// slower compared to searching with coherent rays" (RTX 2080Ti, KITTI
+// points, 0.27M-27M queries).
+//
+// Here: LiDAR points, queries assigned uniformly to grid cells and emitted
+// in raster order vs shuffled. Only the Search phase is timed (the BVH is
+// identical for both orders), best of two runs. Both engines are reported:
+// the independent-traversal engine shows the effect through the CPU memory
+// hierarchy; the warp-lockstep SIMT engine adds the control-flow
+// divergence penalty the RT hardware pays.
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "datasets/uniform.hpp"
+#include "rtnn/rtnn.hpp"
+
+using namespace rtnn;
+
+int main() {
+  const double scale = bench::bench_scale();
+  bench::print_figure_header(
+      "Figure 5 — ray coherence: ordered vs random query order",
+      "random order ~4-5x slower than raster order, across 0.27M-27M queries");
+
+  // This characterization needs a working set larger than the CPU caches;
+  // use the biggest KITTI configuration.
+  bench::BenchDataset ds = bench::paper_dataset("KITTI-25M", scale, 64);
+
+  SearchParams params;
+  params.mode = SearchMode::kRange;
+  params.radius = ds.radius;
+  params.k = 64;
+  params.opts = OptimizationFlags::none();  // direct query-to-ray mapping
+  params.store_indices = false;
+
+  NeighborSearch search;
+  search.set_points(ds.points);
+
+  struct Sample {
+    double seconds = 1e30;
+    std::uint64_t substeps = 0;
+  };
+  auto run = [&](const data::PointCloud& queries, bool simt) {
+    params.simt_launches = simt;
+    Sample best;
+    for (int rep = 0; rep < 3; ++rep) {
+      NeighborSearch::Report report;
+      search.search(queries, params, &report);
+      if (report.time.search < best.seconds) {
+        best.seconds = report.time.search;
+        best.substeps = report.stats.warp_substeps;
+      }
+    }
+    return best;
+  };
+
+  std::printf("%12s %12s %12s %7s %12s %12s %7s %9s\n", "queries", "raster[s]",
+              "random[s]", "ratio", "simt-ra[s]", "simt-rnd[s]", "ratio",
+              "gpu-cost");
+  const Aabb box = data::bounds(ds.points);
+  for (const double mq : {0.27, 0.75, 1.5, 2.7}) {
+    const auto res = static_cast<std::uint32_t>(std::cbrt(mq * 1e6 * scale * 20.0));
+    data::GridQueryParams gq;
+    gq.resolution = res;
+    gq.box = box;
+    gq.seed = 5;
+    data::PointCloud raster = data::grid_queries_raster(gq);
+    data::PointCloud random = raster;
+    data::shuffle(random, 6);
+
+    const Sample ind_raster = run(raster, false);
+    const Sample ind_random = run(random, false);
+    const Sample simt_raster = run(raster, true);
+    const Sample simt_random = run(random, true);
+    // "gpu-cost" = ratio of serialized warp sub-steps, the substrate's
+    // cycle-count analog of the hardware's SIMT execution time.
+    std::printf("%12zu %12.4f %12.4f %7.2f %12.4f %12.4f %7.2f %8.2fx\n",
+                raster.size(), ind_raster.seconds, ind_random.seconds,
+                ind_random.seconds / ind_raster.seconds, simt_raster.seconds,
+                simt_random.seconds, simt_random.seconds / simt_raster.seconds,
+                static_cast<double>(simt_random.substeps) /
+                    static_cast<double>(simt_raster.substeps));
+  }
+  std::puts("\nexpected shape: SIMT wall-clock and gpu-cost ratios > 1 (the paper's");
+  std::puts("4-5x gap is a SIMT-hardware effect; the independent CPU engine shows");
+  std::puts("little of it, which is itself evidence the gap comes from divergence).");
+  return 0;
+}

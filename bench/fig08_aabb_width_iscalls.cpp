@@ -1,0 +1,69 @@
+// Figure 8: number of IS-shader calls vs AABB width.
+//
+// Paper: IS calls grow *super-linearly* with AABB width — the AABB volume
+// grows cubically, so the number of AABBs enclosing a query grows
+// cubically too. Footnote 1 infers that time-per-IS-call is roughly
+// constant because Figures 7 and 8 share the same trend; this harness
+// verifies that inference directly (we can see the hidden traversal
+// counters the paper could not).
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "datasets/point_cloud.hpp"
+#include "optix/optix.hpp"
+#include "rtnn/pipelines.hpp"
+
+using namespace rtnn;
+
+int main() {
+  const double scale = bench::bench_scale();
+  bench::print_figure_header(
+      "Figure 8 — IS calls vs AABB width",
+      "IS calls grow cubically with AABB width; time per IS call ~constant");
+
+  bench::BenchDataset ds = bench::paper_dataset("KITTI-6M", scale, 16);
+  const data::PointCloud queries =
+      data::jittered_queries(ds.points, ds.points.size() / 4, 0.1f, 13);
+
+  std::printf("%12s %16s %16s %18s\n", "width[m]", "IS calls", "node visits",
+              "ns per IS call");
+  double prev_calls = 0.0;
+  double prev_width = 0.0;
+  std::vector<double> exponents;
+  for (const float width : {0.5f, 1.0f, 2.0f, 4.0f, 8.0f, 16.0f}) {
+    std::vector<Aabb> aabbs(ds.points.size());
+    for (std::size_t i = 0; i < ds.points.size(); ++i) {
+      aabbs[i] = Aabb::cube(ds.points[i], width);
+    }
+    const ox::Accel accel = ox::Context{}.build_accel(aabbs);
+    NeighborResult result(queries.size(), 0xffffff, /*store_indices=*/false);
+    std::vector<std::uint32_t> ids(queries.size());
+    for (std::uint32_t i = 0; i < ids.size(); ++i) ids[i] = i;
+    pipelines::RangePipeline pipeline(ds.points, queries, ids, width / 2.0f, 0xffffff,
+                                      false, result);
+    ox::LaunchStats stats;
+    const double seconds = bench::time_once([&] {
+      stats = ox::launch(accel, pipeline, static_cast<std::uint32_t>(queries.size()));
+    });
+    const double per_call =
+        stats.is_calls ? 1e9 * seconds / static_cast<double>(stats.is_calls) : 0.0;
+    std::printf("%12.1f %16llu %16llu %18.1f\n", width,
+                static_cast<unsigned long long>(stats.is_calls),
+                static_cast<unsigned long long>(stats.node_visits), per_call);
+    if (prev_calls > 0.0 && stats.is_calls > 0) {
+      exponents.push_back(std::log(static_cast<double>(stats.is_calls) / prev_calls) /
+                          std::log(width / prev_width));
+    }
+    prev_calls = static_cast<double>(stats.is_calls);
+    prev_width = width;
+  }
+  double mean_exp = 0.0;
+  for (const double e : exponents) mean_exp += e;
+  if (!exponents.empty()) mean_exp /= static_cast<double>(exponents.size());
+  std::printf("\nmeasured growth exponent of IS calls vs width: %.2f "
+              "(paper reasoning predicts ~3 in the volumetric regime;\n"
+              " the thin-z LiDAR slab flattens toward ~2 once widths exceed the "
+              "z-extent)\n", mean_exp);
+  return 0;
+}

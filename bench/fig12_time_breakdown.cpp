@@ -1,0 +1,47 @@
+// Figure 12: end-to-end time distribution of RTNN across the five phases
+// {Data, Opt, BVH, FS, Search}, for KNN (12a) and range search (12b).
+//
+// Paper: Search dominates on large inputs (e.g. 88.5% for KITTI-12M KNN,
+// 63.5% for range); small inputs are dominated by non-search phases; the
+// two NBody inputs spend >50% on Opt+BVH because their non-uniform density
+// yields many partitions and BVH builds.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "rtnn/rtnn.hpp"
+
+using namespace rtnn;
+
+int main() {
+  const double scale = bench::bench_scale();
+  bench::print_figure_header(
+      "Figure 12 — RTNN time distribution {Data, Opt, BVH, FS, Search} [%]",
+      "Search dominates large inputs; NBody spends >50% in Opt+BVH "
+      "(non-uniform density -> many partitions)");
+
+  for (const SearchMode mode : {SearchMode::kKnn, SearchMode::kRange}) {
+    std::printf("\n--- %s search ---\n", mode == SearchMode::kKnn ? "KNN" : "Range");
+    std::printf("%-12s %6s %6s %6s %6s %6s   %10s %6s\n", "dataset", "Data", "Opt",
+                "BVH", "FS", "Search", "total[s]", "#part");
+    for (const char* name :
+         {"KITTI-1M", "KITTI-6M", "KITTI-12M", "KITTI-25M", "NBody-9M", "NBody-10M",
+          "Bunny-360K", "Dragon-3.6M", "Buddha-4.6M"}) {
+      bench::BenchDataset ds = bench::paper_dataset(name, scale, 16);
+      SearchParams params;
+      params.mode = mode;
+      params.radius = bench::paper_radius(name, ds);
+      params.k = 16;
+      params.store_indices = false;
+      params.max_grid_cells = std::uint64_t{1} << 24;
+      NeighborSearch search;
+      search.set_points(ds.points);
+      NeighborSearch::Report report;
+      search.search(ds.points, params, &report);
+      std::printf("%-12s %s   %10.3f %6u\n", name, report.time.percent_row().c_str(),
+                  report.time.total(), report.num_partitions);
+    }
+  }
+  std::puts("\nexpected shape: Search share grows with input size; NBody rows have the");
+  std::puts("largest Opt+BVH share; FS is negligible everywhere (as in the paper).");
+  return 0;
+}

@@ -1,0 +1,135 @@
+// Figure 13: teasing apart the optimizations — NoOpt, Sched, Sched+Partition,
+// Sched+Partition+Bundle, Oracle — on KITTI-12M (13a) and NBody-9M (13b),
+// for KNN and range search.
+//
+// Paper: scheduling gives 1.8-5.9x; partitioning adds 154x for KITTI KNN
+// but *degrades* NBody (many partitions -> build overhead); bundling adds
+// ~18.8%/18.6% on range search and is within 3% of the Oracle on KITTI;
+// the NBody Oracle disables partitioning entirely.
+//
+// Oracle here = best measured time over {scheduling-only (no partitioning)}
+// ∪ {every theorem-family bundling plan M_o = 1..M}, the same "offline
+// exhaustive search infeasible at run time" the paper describes.
+#include <cstdio>
+#include <limits>
+#include <numeric>
+
+#include "bench_util.hpp"
+#include "rtnn/rtnn.hpp"
+
+using namespace rtnn;
+
+namespace {
+
+constexpr std::uint32_t kK = 16;
+
+double run_config(NeighborSearch& search, const bench::BenchDataset& ds,
+                  SearchMode mode, OptimizationFlags opts) {
+  SearchParams params;
+  params.mode = mode;
+  params.radius = ds.radius;
+  params.k = kK;
+  params.opts = opts;
+  params.store_indices = false;
+  params.max_grid_cells = std::uint64_t{1} << 24;
+  return bench::time_once([&] { search.search(ds.points, params); });
+}
+
+double run_oracle(NeighborSearch& search, const bench::BenchDataset& ds,
+                  SearchMode mode) {
+  // Candidate 1: no partitioning at all.
+  double best = run_config(search, ds, mode, OptimizationFlags::scheduling_only());
+  // Candidates 2..: every theorem-family plan, executed for real.
+  SearchParams params;
+  params.mode = mode;
+  params.radius = ds.radius;
+  params.k = kK;
+  params.store_indices = false;
+  params.max_grid_cells = std::uint64_t{1} << 24;
+  std::vector<std::uint32_t> order(ds.points.size());
+  std::iota(order.begin(), order.end(), 0u);
+  const PartitionSet parts = search.partition(ds.points, order, params);
+  const std::size_t m = parts.partitions.size();
+  // Enumerate M_o; cap the enumeration for very fragmented partition sets.
+  const std::size_t max_plans = 12;
+  const std::size_t step = std::max<std::size_t>(1, m / max_plans);
+  for (std::size_t mo = 1; mo <= m; mo += step) {
+    CostModel fake;  // force exactly mo bundles by constructing the plan
+    fake.calibrated = true;
+    // Build the theorem plan for this mo directly.
+    std::vector<std::uint32_t> by_count(m);
+    std::iota(by_count.begin(), by_count.end(), 0u);
+    std::stable_sort(by_count.begin(), by_count.end(),
+                     [&](std::uint32_t a, std::uint32_t b) {
+                       return parts.partitions[a].query_ids.size() <
+                              parts.partitions[b].query_ids.size();
+                     });
+    BundlePlan plan;
+    plan.m_opt = static_cast<std::uint32_t>(mo);
+    const std::size_t merged = m - mo + 1;
+    Bundle big;
+    for (std::size_t i = 0; i < merged; ++i) {
+      const Partition& p = parts.partitions[by_count[i]];
+      big.partition_indices.push_back(by_count[i]);
+      big.aabb_width = std::max(big.aabb_width, p.aabb_width);
+      big.query_count += p.query_ids.size();
+    }
+    big.skip_sphere_test = (mode == SearchMode::kRange) &&
+                           (big.aabb_width * 1.7320508f * 0.5f) <= ds.radius;
+    plan.bundles.push_back(std::move(big));
+    for (std::size_t i = merged; i < m; ++i) {
+      const Partition& p = parts.partitions[by_count[i]];
+      Bundle solo;
+      solo.partition_indices.push_back(by_count[i]);
+      solo.aabb_width = p.aabb_width;
+      solo.skip_sphere_test = p.skip_sphere_test;
+      solo.query_count = p.query_ids.size();
+      plan.bundles.push_back(std::move(solo));
+    }
+    const double t = bench::time_once(
+        [&] { search.search_with_plan(ds.points, params, parts, plan); });
+    best = std::min(best, t);
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  const double scale = bench::bench_scale();
+  bench::print_figure_header(
+      "Figure 13 — optimization ablation (NoOpt / Sched / +Part / +Bundle / Oracle)",
+      "KITTI: partitioning gives 154x on KNN; NBody: partitioning degrades "
+      "(Oracle disables it); bundling ~ +18% on range, within 3% of Oracle");
+
+  for (const char* name : {"KITTI-12M", "NBody-9M"}) {
+    bench::BenchDataset ds = bench::paper_dataset(name, scale, kK);
+    // Physically-scaled radius (the regime the paper evaluates: the 2r
+    // baseline AABB encloses far more than K neighbors, so partitioning
+    // has headroom).
+    ds.radius = bench::paper_radius(name, ds);
+    NeighborSearch search;
+    search.set_points(ds.points);
+    std::printf("\n--- %s ---\n", name);
+    std::printf("%-8s %10s %10s %12s %14s %10s\n", "mode", "NoOpt[s]", "Sched[s]",
+                "+Part[s]", "+Bundle[s]", "Oracle[s]");
+    for (const SearchMode mode : {SearchMode::kKnn, SearchMode::kRange}) {
+      const double t_noopt = run_config(search, ds, mode, OptimizationFlags::none());
+      const double t_sched =
+          run_config(search, ds, mode, OptimizationFlags::scheduling_only());
+      const double t_part =
+          run_config(search, ds, mode, OptimizationFlags::no_bundling());
+      const double t_bundle = run_config(search, ds, mode, OptimizationFlags::all());
+      const double t_oracle = run_oracle(search, ds, mode);
+      std::printf("%-8s %10.3f %10.3f %12.3f %14.3f %10.3f\n",
+                  mode == SearchMode::kKnn ? "KNN" : "Range", t_noopt, t_sched, t_part,
+                  t_bundle, t_oracle);
+    }
+  }
+  std::puts("\nexpected shape: +Part/+Bundle are the big KNN win (paper: 154x on");
+  std::puts("KITTI; here ~10-20x) and a small range-search effect; Bundle is close");
+  std::puts("to Oracle. Substrate note: Sched ~ NoOpt in wall clock because the");
+  std::puts("independent CPU engine pays no warp divergence — the coherence win");
+  std::puts("shows in the SIMT counters (Figures 5/6), not in CPU seconds.");
+  return 0;
+}

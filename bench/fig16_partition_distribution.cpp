@@ -1,0 +1,64 @@
+// Figure 16 (appendix C): number of queries per partition vs the
+// partition's AABB size.
+//
+// Paper: inversely correlated — "only a handful of sparsely located
+// queries need a large AABB, whereas most of queries should be captured
+// by small AABBs" (~6M queries). This empirical structure is what makes
+// the bundling theorem (keep populous partitions separate, merge the
+// sparse ones) optimal.
+#include <cstdio>
+#include <numeric>
+
+#include "bench_util.hpp"
+#include "rtnn/rtnn.hpp"
+
+using namespace rtnn;
+
+int main() {
+  const double scale = bench::bench_scale();
+  bench::print_figure_header(
+      "Figure 16 — queries per partition vs AABB size",
+      "inverse correlation: most queries in small-AABB partitions, few in "
+      "large ones (~6M queries)");
+
+  for (const char* name : {"KITTI-6M", "NBody-9M"}) {
+    bench::BenchDataset ds = bench::paper_dataset(name, scale, 16);
+    SearchParams params;
+    params.mode = SearchMode::kKnn;
+    params.radius = bench::paper_radius(name, ds);
+    params.k = 16;
+    params.max_grid_cells = std::uint64_t{1} << 24;  // the paper's "finest
+    // cell size allowed by memory" knob
+    NeighborSearch search;
+    search.set_points(ds.points);
+    std::vector<std::uint32_t> order(ds.points.size());
+    std::iota(order.begin(), order.end(), 0u);
+    const PartitionSet parts = search.partition(ds.points, order, params);
+
+    std::printf("\n--- %s (%zu queries, %zu partitions, cell %.4f) ---\n", name,
+                ds.points.size(), parts.partitions.size(), parts.cell_size);
+    std::printf("%14s %14s %12s %10s\n", "AABB size", "#queries", "megacell",
+                "fallback");
+    for (const Partition& p : parts.partitions) {
+      std::printf("%14.4f %14zu %12.4f %10s\n", p.aabb_width, p.query_ids.size(),
+                  p.megacell_width, p.hit_sphere_limit ? "yes" : "");
+    }
+    // Rank correlation between AABB size and query count.
+    double concordant = 0, discordant = 0;
+    for (std::size_t i = 0; i < parts.partitions.size(); ++i) {
+      for (std::size_t j = i + 1; j < parts.partitions.size(); ++j) {
+        const double dw = static_cast<double>(parts.partitions[i].aabb_width) -
+                          parts.partitions[j].aabb_width;
+        const double dn = static_cast<double>(parts.partitions[i].query_ids.size()) -
+                          static_cast<double>(parts.partitions[j].query_ids.size());
+        if (dw * dn < 0) ++concordant;
+        if (dw * dn > 0) ++discordant;
+      }
+    }
+    const double total = concordant + discordant;
+    std::printf("inverse-correlation score: %.2f (1 = perfectly inverse)\n",
+                total > 0 ? concordant / total : 1.0);
+  }
+  std::puts("\nexpected shape: query counts fall as AABB size grows (score near 1).");
+  return 0;
+}

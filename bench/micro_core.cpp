@@ -1,0 +1,195 @@
+// google-benchmark micro suite for the substrate primitives: BVH build and
+// traversal, uniform grid, octree, radix sort, Morton encoding, KNN heap.
+// These are the per-operation costs behind every figure harness.
+#include <benchmark/benchmark.h>
+
+#include <numeric>
+
+#include "baselines/grid_search.hpp"
+#include "baselines/octree.hpp"
+#include "core/flat_knn.hpp"
+#include "core/morton.hpp"
+#include "core/rng.hpp"
+#include "core/sort.hpp"
+#include "datasets/uniform.hpp"
+#include "optix/optix.hpp"
+#include "rtcore/bvh.hpp"
+#include "rtcore/traversal.hpp"
+
+namespace {
+
+using namespace rtnn;
+
+data::PointCloud cloud(std::size_t n) {
+  return data::uniform_box(n, {{0, 0, 0}, {1, 1, 1}}, 12345);
+}
+
+std::vector<Aabb> point_aabbs(const data::PointCloud& points, float width) {
+  std::vector<Aabb> aabbs(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    aabbs[i] = Aabb::cube(points[i], width);
+  }
+  return aabbs;
+}
+
+void BM_BvhBuild(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto aabbs = point_aabbs(cloud(n), 0.02f);
+  for (auto _ : state) {
+    rt::Bvh bvh;
+    bvh.build(aabbs);
+    benchmark::DoNotOptimize(bvh.nodes().data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_BvhBuild)->Arg(10'000)->Arg(100'000)->Arg(1'000'000)->Unit(benchmark::kMillisecond);
+
+struct NullProgram {
+  std::uint64_t sink = 0;
+  rt::TraceAction intersect(std::uint32_t, std::uint32_t prim) {
+    sink += prim;
+    return rt::TraceAction::kContinue;
+  }
+};
+
+void BM_Traversal(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto points = cloud(n);
+  const auto aabbs = point_aabbs(points, 0.03f);
+  rt::Bvh bvh;
+  bvh.build(aabbs);
+  std::vector<Ray> rays;
+  rays.reserve(points.size());
+  for (const Vec3& p : points) rays.push_back(Ray::short_ray(p));
+  NullProgram program;
+  for (auto _ : state) {
+    const auto stats = rt::trace(bvh, rays, program);
+    benchmark::DoNotOptimize(stats.is_calls);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_Traversal)->Arg(10'000)->Arg(100'000)->Unit(benchmark::kMillisecond);
+
+void BM_TraversalSimt(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto points = cloud(n);
+  rt::Bvh bvh;
+  bvh.build(point_aabbs(points, 0.03f));
+  std::vector<Ray> rays;
+  for (const Vec3& p : points) rays.push_back(Ray::short_ray(p));
+  NullProgram program;
+  rt::TraceConfig config;
+  config.model = rt::ExecutionModel::kWarpLockstep;
+  for (auto _ : state) {
+    const auto stats = rt::trace(bvh, rays, program, config);
+    benchmark::DoNotOptimize(stats.warp_substeps);
+  }
+}
+BENCHMARK(BM_TraversalSimt)->Arg(10'000)->Arg(100'000)->Unit(benchmark::kMillisecond);
+
+void BM_GridBuild(benchmark::State& state) {
+  const auto points = cloud(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    baselines::GridRangeSearch grid;
+    grid.build(points, 0.02f);
+    benchmark::DoNotOptimize(grid.grid().point_count());
+  }
+}
+BENCHMARK(BM_GridBuild)->Arg(100'000)->Arg(1'000'000)->Unit(benchmark::kMillisecond);
+
+void BM_GridRangeQuery(benchmark::State& state) {
+  const auto points = cloud(static_cast<std::size_t>(state.range(0)));
+  baselines::GridRangeSearch grid;
+  grid.build(points, 0.02f);
+  for (auto _ : state) {
+    const auto result = grid.search(points, 16);
+    benchmark::DoNotOptimize(result.total_neighbors());
+  }
+}
+BENCHMARK(BM_GridRangeQuery)->Arg(100'000)->Unit(benchmark::kMillisecond);
+
+void BM_OctreeBuild(benchmark::State& state) {
+  const auto points = cloud(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    baselines::Octree octree;
+    octree.build(points);
+    benchmark::DoNotOptimize(octree.node_count());
+  }
+}
+BENCHMARK(BM_OctreeBuild)->Arg(100'000)->Arg(1'000'000)->Unit(benchmark::kMillisecond);
+
+void BM_OctreeKnnQuery(benchmark::State& state) {
+  const auto points = cloud(static_cast<std::size_t>(state.range(0)));
+  baselines::Octree octree;
+  octree.build(points);
+  for (auto _ : state) {
+    const auto result = octree.knn_search(points, 0.05f, 8);
+    benchmark::DoNotOptimize(result.total_neighbors());
+  }
+}
+BENCHMARK(BM_OctreeKnnQuery)->Arg(100'000)->Unit(benchmark::kMillisecond);
+
+void BM_RadixSortPairs(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Pcg32 rng(7);
+  std::vector<std::uint64_t> keys(n);
+  for (auto& k : keys) k = rng.next_u64();
+  for (auto _ : state) {
+    auto k = keys;
+    std::vector<std::uint32_t> v(n);
+    std::iota(v.begin(), v.end(), 0u);
+    radix_sort_pairs(k, v);
+    benchmark::DoNotOptimize(k.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_RadixSortPairs)->Arg(100'000)->Arg(1'000'000)->Unit(benchmark::kMillisecond);
+
+void BM_Morton63(benchmark::State& state) {
+  const auto points = cloud(100'000);
+  const Aabb bounds{{0, 0, 0}, {1, 1, 1}};
+  for (auto _ : state) {
+    std::uint64_t sum = 0;
+    for (const Vec3& p : points) sum += morton3d_63(p, bounds);
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 100'000);
+}
+BENCHMARK(BM_Morton63);
+
+void BM_FlatKnnHeapPush(benchmark::State& state) {
+  Pcg32 rng(9);
+  const std::size_t n = 1000;
+  std::vector<float> dists(100'000);
+  for (auto& d : dists) d = rng.next_float();
+  for (auto _ : state) {
+    FlatKnnHeaps heaps(n, 16);
+    for (std::size_t i = 0; i < dists.size(); ++i) {
+      heaps.push(i % n, dists[i], static_cast<std::uint32_t>(i));
+    }
+    benchmark::DoNotOptimize(heaps.worst_dist2(0));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(dists.size()));
+}
+BENCHMARK(BM_FlatKnnHeapPush);
+
+void BM_AccelBuildLeafSize(benchmark::State& state) {
+  const auto points = cloud(200'000);
+  const auto aabbs = point_aabbs(points, 0.02f);
+  ox::AccelBuildOptions options;
+  options.leaf_size = static_cast<std::uint32_t>(state.range(0));
+  const ox::Context ctx;
+  for (auto _ : state) {
+    const auto accel = ctx.build_accel(aabbs, options);
+    benchmark::DoNotOptimize(accel.prim_count());
+  }
+}
+BENCHMARK(BM_AccelBuildLeafSize)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

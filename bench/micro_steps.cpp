@@ -1,0 +1,174 @@
+// Micro characterizations backing the paper's in-text claims:
+//
+//   §3.1 "Step 2 ... is much more expensive than Step 1 — an order of
+//         magnitude slower in our experiments."
+//   §3.1 short rays eliminate the false-positive IS calls of long rays
+//         (Figure 4c).
+//   plus two substrate ablations DESIGN.md calls out: warp-lockstep vs
+//   independent traversal overhead, and BVH leaf size.
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/flat_knn.hpp"
+#include "datasets/uniform.hpp"
+#include "optix/optix.hpp"
+#include "rtnn/pipelines.hpp"
+
+using namespace rtnn;
+
+namespace {
+
+struct CountOnly {
+  std::uint64_t dummy = 0;
+  Ray raygen(std::uint32_t) const { return Ray{}; }  // unused
+  ox::TraceAction intersection(std::uint32_t, std::uint32_t) {
+    ++dummy;
+    return ox::TraceAction::kContinue;
+  }
+};
+
+}  // namespace
+
+int main() {
+  const double scale = bench::bench_scale();
+  bench::print_figure_header(
+      "Micro — step costs, ray-length false positives, engine/leaf ablations",
+      "Step 2 (IS) ~10x Step 1 (traversal); short rays avoid false-positive "
+      "IS calls");
+
+  const auto n = static_cast<std::size_t>(2e6 * scale * 10);
+  const data::PointCloud points = data::uniform_box(n, {{0, 0, 0}, {1, 1, 1}}, 3);
+  const float radius = bench::auto_radius(points, 16);
+  std::vector<Aabb> aabbs(n);
+  for (std::size_t i = 0; i < n; ++i) aabbs[i] = Aabb::cube(points[i], 2.0f * radius);
+  const ox::Accel accel = ox::Context{}.build_accel(aabbs);
+  const std::size_t nq = n;
+  std::vector<std::uint32_t> ids(nq);
+  for (std::uint32_t i = 0; i < nq; ++i) ids[i] = i;
+
+  // --- Step 1 vs Step 2 cost ---
+  // Same launch measured twice: once with the IS body reduced to a no-op
+  // counter (traversal-dominated) and once with the full sphere test +
+  // priority queue (KNN IS shader).
+  {
+    struct TraversalOnly {
+      std::span<const Vec3> queries;
+      Ray raygen(std::uint32_t i) const { return Ray::short_ray(queries[i]); }
+      // Empty IS body: the engine still performs the traversal and the
+      // ray-AABB tests (Step 1); nothing shared is written (a shared sink
+      // would serialize the cores on one cache line).
+      ox::TraceAction intersection(std::uint32_t, std::uint32_t) {
+        return ox::TraceAction::kContinue;
+      }
+    };
+    TraversalOnly trav{points};
+    ox::LaunchStats stats;
+    ox::launch(accel, trav, static_cast<std::uint32_t>(nq));  // warm-up
+    double t_step1 = 1e30;
+    for (int rep = 0; rep < 3; ++rep) {
+      t_step1 = std::min(t_step1, bench::time_once([&] {
+                  stats = ox::launch(accel, trav, static_cast<std::uint32_t>(nq));
+                }));
+    }
+
+    FlatKnnHeaps heaps(nq, 16);
+    struct KnnIs {
+      std::span<const Vec3> points;
+      std::span<const Vec3> queries;
+      float r2;
+      FlatKnnHeaps* heaps;
+      Ray raygen(std::uint32_t i) const { return Ray::short_ray(queries[i]); }
+      ox::TraceAction intersection(std::uint32_t i, std::uint32_t prim) {
+        const float d2 = distance2(points[prim], queries[i]);
+        if (d2 <= r2 && d2 < heaps->worst_dist2(i)) heaps->push(i, d2, prim);
+        return ox::TraceAction::kContinue;
+      }
+    };
+    KnnIs knn{points, points, radius * radius, &heaps};
+    ox::launch(accel, knn, static_cast<std::uint32_t>(nq));  // warm-up
+    double t_step2 = 1e30;
+    for (int rep = 0; rep < 3; ++rep) {
+      t_step2 = std::min(t_step2, bench::time_once([&] {
+                  ox::launch(accel, knn, static_cast<std::uint32_t>(nq));
+                }));
+    }
+
+    const double step1_per_event =
+        1e9 * t_step1 / static_cast<double>(stats.node_visits);
+    const double step2_extra_per_is =
+        1e9 * (t_step2 - t_step1) / static_cast<double>(stats.is_calls);
+    std::printf("Step 1 (traversal) per node visit: %8.1f ns\n", step1_per_event);
+    std::printf("Step 2 (KNN IS body) per call:     %8.1f ns  -> ratio %.1fx\n",
+                step2_extra_per_is, step2_extra_per_is / step1_per_event);
+    std::puts("substrate note: on RTX hardware Step 1 runs on dedicated RT cores,");
+    std::puts("making its effective cost ~10x below an SM-side IS call; on this CPU");
+    std::puts("substrate both are scalar code, so the per-event gap narrows. The");
+    std::puts("paper's Step1-vs-Step2 asymmetry is reproduced by the k3_slow:k3_fast");
+    std::puts("ratio in micro_costmodel (sphere test vs bounds-only IS).");
+  }
+
+  // --- Short vs long rays: false-positive IS calls (Figure 4c) ---
+  {
+    struct RayLenProbe {
+      std::span<const Vec3> queries;
+      float tmax;
+      Ray raygen(std::uint32_t i) const {
+        return Ray{queries[i], {1.0f, 0.0f, 0.0f}, 0.0f, tmax};
+      }
+      ox::TraceAction intersection(std::uint32_t, std::uint32_t) {
+        return ox::TraceAction::kContinue;
+      }
+    };
+    RayLenProbe short_probe{points, 1e-16f};
+    RayLenProbe long_probe{points, 10.0f * radius};
+    const auto s_short =
+        ox::launch(accel, short_probe, static_cast<std::uint32_t>(nq));
+    const auto s_long = ox::launch(accel, long_probe, static_cast<std::uint32_t>(nq));
+    std::printf("\nIS calls/query — short rays (tmax=1e-16): %.2f, long rays "
+                "(tmax=10r): %.2f\n",
+                s_short.is_calls_per_ray(), s_long.is_calls_per_ray());
+    std::printf("long-ray false-positive factor: %.2fx (all extra IS calls are "
+                "rejected by Step 2)\n",
+                s_long.is_calls_per_ray() / s_short.is_calls_per_ray());
+  }
+
+  // --- Engine ablation: independent vs warp-lockstep wall clock ---
+  {
+    NeighborResult result(nq, 16, false);
+    pipelines::RangePipeline pipeline(points, points, ids, radius, 16, false, result);
+    ox::LaunchOptions opt;
+    const double t_ind = bench::time_once(
+        [&] { ox::launch(accel, pipeline, static_cast<std::uint32_t>(nq), opt); });
+    NeighborResult result2(nq, 16, false);
+    pipelines::RangePipeline pipeline2(points, points, ids, radius, 16, false, result2);
+    opt.model = ox::ExecutionModel::kWarpLockstep;
+    const double t_simt = bench::time_once(
+        [&] { ox::launch(accel, pipeline2, static_cast<std::uint32_t>(nq), opt); });
+    std::printf("\nengine ablation: independent %.3fs vs warp-lockstep %.3fs "
+                "(%.2fx lockstep overhead)\n",
+                t_ind, t_simt, t_simt / t_ind);
+  }
+
+  // --- BVH leaf-size ablation ---
+  {
+    std::printf("\nleaf-size ablation (range search, K=16):\n");
+    std::printf("%10s %12s %12s %14s\n", "leaf", "build[s]", "search[s]", "IS/query");
+    for (const std::uint32_t leaf : {1u, 2u, 4u, 8u}) {
+      ox::AccelBuildOptions build_opts;
+      build_opts.leaf_size = leaf;
+      double t_build = 0.0;
+      ox::Accel a;
+      t_build = bench::time_once([&] { a = ox::Context{}.build_accel(aabbs, build_opts); });
+      NeighborResult result(nq, 16, false);
+      pipelines::RangePipeline pipeline(points, points, ids, radius, 16, false, result);
+      ox::LaunchStats stats;
+      const double t_search = bench::time_once([&] {
+        stats = ox::launch(a, pipeline, static_cast<std::uint32_t>(nq));
+      });
+      std::printf("%10u %12.3f %12.3f %14.2f\n", leaf, t_build, t_search,
+                  stats.is_calls_per_ray());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,46 @@
+#include "baselines/brute_force.hpp"
+
+#include <algorithm>
+
+#include "core/knn_heap.hpp"
+#include "core/parallel.hpp"
+
+namespace rtnn::baselines {
+
+NeighborResult brute_force_range(std::span<const Vec3> points, std::span<const Vec3> queries,
+                                 float radius, std::uint32_t k) {
+  NeighborResult result(queries.size(), k);
+  const float r2 = radius * radius;
+  parallel_for(0, static_cast<std::int64_t>(queries.size()), [&](std::int64_t q) {
+    const Vec3 query = queries[static_cast<std::size_t>(q)];
+    for (std::uint32_t p = 0; p < points.size(); ++p) {
+      if (distance2(points[p], query) <= r2) {
+        if (result.record(static_cast<std::size_t>(q), p) == k) break;
+      }
+    }
+  }, 64);
+  return result;
+}
+
+NeighborResult brute_force_knn(std::span<const Vec3> points, std::span<const Vec3> queries,
+                               float radius, std::uint32_t k) {
+  NeighborResult result(queries.size(), k);
+  const float r2 = radius * radius;
+  parallel_for(0, static_cast<std::int64_t>(queries.size()), [&](std::int64_t q) {
+    const Vec3 query = queries[static_cast<std::size_t>(q)];
+    KnnHeap heap(k);
+    for (std::uint32_t p = 0; p < points.size(); ++p) {
+      const float d2 = distance2(points[p], query);
+      if (d2 <= r2 && d2 < heap.worst_dist2()) heap.push(d2, p);
+    }
+    auto sorted = heap.extract_sorted();
+    // Deterministic tie order: stable by (distance, index).
+    std::stable_sort(sorted.begin(), sorted.end(), [](const auto& a, const auto& b) {
+      return a.dist2 < b.dist2 || (a.dist2 == b.dist2 && a.index < b.index);
+    });
+    for (const auto& entry : sorted) result.record(static_cast<std::size_t>(q), entry.index);
+  }, 64);
+  return result;
+}
+
+}  // namespace rtnn::baselines

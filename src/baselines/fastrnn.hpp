@@ -1,0 +1,39 @@
+// FastRNN analog: ray-tracing-accelerated KNN *without* RTNN's
+// optimizations.
+//
+// Evangelou et al. 2021 ("Fast Radius Search Exploiting Ray-Tracing
+// Frameworks") is the paper's prior-art RT baseline: the same basic
+// point-AABB / short-ray mapping, but with the naive query-to-ray order
+// and one monolithic BVH (no scheduling, partitioning, or bundling). The
+// paper reports a 65× geomean speedup of RTNN over it; it exists here so
+// Figures 11/14 can reproduce that comparison. KNN only, like the
+// original.
+#pragma once
+
+#include <span>
+
+#include "core/neighbor_result.hpp"
+#include "core/vec3.hpp"
+#include "rtnn/neighbor_search.hpp"
+
+namespace rtnn::baselines {
+
+class FastRnn {
+ public:
+  void build(std::span<const Vec3> points) { search_.set_points(points); }
+
+  NeighborResult knn_search(std::span<const Vec3> queries, float radius, std::uint32_t k,
+                            NeighborSearch::Report* report = nullptr) {
+    SearchParams params;
+    params.mode = SearchMode::kKnn;
+    params.radius = radius;
+    params.k = k;
+    params.opts = OptimizationFlags::none();
+    return search_.search(queries, params, report);
+  }
+
+ private:
+  NeighborSearch search_;
+};
+
+}  // namespace rtnn::baselines

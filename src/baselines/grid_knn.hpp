@@ -1,0 +1,41 @@
+// Grid-based KNN — the FRNN analog.
+//
+// FRNN ("fixed radius nearest neighbor", the PyTorch3D knn_points
+// replacement the paper compares against) performs radius-bounded KNN on
+// a uniform grid: expanding Chebyshev shells of cells are visited until
+// the K-th nearest distance found so far rules out any farther shell (or
+// the radius bound is hit).
+#pragma once
+
+#include <span>
+
+#include "baselines/uniform_grid.hpp"
+#include "core/neighbor_result.hpp"
+
+namespace rtnn::baselines {
+
+struct GridKnnOptions {
+  /// Cell width as a multiple of the radius bound. FRNN sizes cells to
+  /// the radius; smaller factors trade build cost for tighter shells.
+  float cell_factor = 1.0f;
+  std::uint64_t max_cells = std::uint64_t{1} << 27;
+};
+
+class GridKnn {
+ public:
+  using Options = GridKnnOptions;
+
+  void build(std::span<const Vec3> points, float radius, const Options& options = Options{});
+
+  /// K nearest neighbors within the radius bound, ascending by distance.
+  NeighborResult search(std::span<const Vec3> queries, std::uint32_t k) const;
+
+  const UniformGrid& grid() const { return grid_; }
+
+ private:
+  std::vector<Vec3> points_;
+  UniformGrid grid_;
+  float radius_ = 0.0f;
+};
+
+}  // namespace rtnn::baselines

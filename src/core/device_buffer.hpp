@@ -1,0 +1,60 @@
+// Device-memory stand-in.
+//
+// On the paper's substrate, points/queries/results live in GPU device
+// memory shared by the SMs and the RT cores; host<->device copies are the
+// "Data" phase of Figure 12. Here "device memory" is ordinary host memory,
+// but the upload/download interface is kept explicit so (a) the RTNN
+// library is written against the same memory discipline as the CUDA
+// original and (b) the Data phase is separately timeable.
+#pragma once
+
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "core/error.hpp"
+
+namespace rtnn {
+
+template <typename T>
+class DeviceBuffer {
+ public:
+  DeviceBuffer() = default;
+  explicit DeviceBuffer(std::size_t n) : data_(n) {}
+
+  /// Allocates and copies host data "to the device".
+  static DeviceBuffer upload(std::span<const T> host) {
+    DeviceBuffer buf(host.size());
+    if (!host.empty()) std::memcpy(buf.data_.data(), host.data(), host.size_bytes());
+    return buf;
+  }
+
+  /// Copies device contents back "to the host".
+  std::vector<T> download() const { return data_; }
+
+  void download_into(std::span<T> host) const {
+    RTNN_CHECK(host.size() == data_.size(), "download size mismatch");
+    if (!data_.empty()) std::memcpy(host.data(), data_.data(), host.size_bytes());
+  }
+
+  void resize(std::size_t n) { data_.resize(n); }
+  void fill(const T& value) { std::fill(data_.begin(), data_.end(), value); }
+
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+  std::size_t size_bytes() const { return data_.size() * sizeof(T); }
+
+  T* data() { return data_.data(); }
+  const T* data() const { return data_.data(); }
+
+  std::span<T> span() { return {data_.data(), data_.size()}; }
+  std::span<const T> span() const { return {data_.data(), data_.size()}; }
+
+  T& operator[](std::size_t i) { return data_[i]; }
+  const T& operator[](std::size_t i) const { return data_[i]; }
+
+ private:
+  std::vector<T> data_;
+};
+
+}  // namespace rtnn

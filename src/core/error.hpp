@@ -1,0 +1,44 @@
+// Error handling: checked preconditions that throw rtnn::Error.
+//
+// Following the Core Guidelines (I.5/I.6, E.x): public API entry points
+// validate their preconditions and report violations with exceptions;
+// internal hot loops use RTNN_DCHECK which compiles away in release.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace rtnn {
+
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void fail(const char* expr, const char* file, int line,
+                              const std::string& msg) {
+  std::ostringstream os;
+  os << "RTNN check failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace rtnn
+
+/// Always-on precondition check; throws rtnn::Error on failure.
+#define RTNN_CHECK(cond, msg)                                              \
+  do {                                                                     \
+    if (!(cond)) ::rtnn::detail::fail(#cond, __FILE__, __LINE__, (msg));   \
+  } while (0)
+
+/// Debug-only check for internal invariants in hot paths.
+#ifndef NDEBUG
+#define RTNN_DCHECK(cond, msg) RTNN_CHECK(cond, msg)
+#else
+#define RTNN_DCHECK(cond, msg) \
+  do {                         \
+  } while (0)
+#endif

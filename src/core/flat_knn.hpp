@@ -1,0 +1,102 @@
+// Flat pool of bounded max-heaps: one K-slot heap per query in contiguous
+// storage. This is the device-friendly layout the KNN IS shader writes to
+// (one row per ray, no per-ray allocation), unlike KnnHeap which owns its
+// own vector and suits host-side single-query use.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "core/error.hpp"
+#include "core/neighbor_result.hpp"
+#include "core/parallel.hpp"
+
+namespace rtnn {
+
+class FlatKnnHeaps {
+ public:
+  struct Entry {
+    float dist2;
+    std::uint32_t index;
+  };
+
+  FlatKnnHeaps(std::size_t num_queries, std::uint32_t k)
+      : num_queries_(num_queries), k_(k), entries_(num_queries * k),
+        sizes_(num_queries, 0) {
+    RTNN_CHECK(k > 0, "K must be positive");
+  }
+
+  std::uint32_t k() const { return k_; }
+  std::size_t num_queries() const { return num_queries_; }
+  std::uint32_t size(std::size_t q) const { return sizes_[q]; }
+
+  float worst_dist2(std::size_t q) const {
+    return sizes_[q] == k_ ? entries_[q * k_].dist2
+                           : std::numeric_limits<float>::infinity();
+  }
+
+  /// Offers a candidate to query q's heap; keeps it if among the K nearest
+  /// so far. One thread per query row (the CUDA shader contract).
+  bool push(std::size_t q, float dist2, std::uint32_t index) {
+    Entry* heap = entries_.data() + q * k_;
+    std::uint32_t& n = sizes_[q];
+    if (n < k_) {
+      heap[n] = {dist2, index};
+      std::uint32_t i = n++;
+      while (i > 0) {
+        const std::uint32_t parent = (i - 1) / 2;
+        if (heap[parent].dist2 >= heap[i].dist2) break;
+        std::swap(heap[parent], heap[i]);
+        i = parent;
+      }
+      return true;
+    }
+    if (dist2 >= heap[0].dist2) return false;
+    heap[0] = {dist2, index};
+    sift_down(heap, n, 0);
+    return true;
+  }
+
+  /// Converts all heaps into a NeighborResult with each query's neighbors
+  /// ascending by (distance, index). Parallel over queries.
+  NeighborResult extract(bool store_indices = true) {
+    NeighborResult result(num_queries_, k_, store_indices);
+    parallel_for(0, static_cast<std::int64_t>(num_queries_), [&](std::int64_t q) {
+      Entry* heap = entries_.data() + static_cast<std::size_t>(q) * k_;
+      const std::uint32_t n = sizes_[static_cast<std::size_t>(q)];
+      std::sort(heap, heap + n, [](const Entry& a, const Entry& b) {
+        return a.dist2 < b.dist2 || (a.dist2 == b.dist2 && a.index < b.index);
+      });
+      for (std::uint32_t i = 0; i < n; ++i) {
+        result.record(static_cast<std::size_t>(q), heap[i].index);
+      }
+    }, 512);
+    return result;
+  }
+
+  /// K-th nearest distance² of query q (+inf if fewer than K found).
+  float kth_dist2(std::size_t q) const { return worst_dist2(q); }
+
+ private:
+  static void sift_down(Entry* heap, std::uint32_t n, std::uint32_t i) {
+    for (;;) {
+      const std::uint32_t l = 2 * i + 1;
+      const std::uint32_t r = 2 * i + 2;
+      std::uint32_t largest = i;
+      if (l < n && heap[l].dist2 > heap[largest].dist2) largest = l;
+      if (r < n && heap[r].dist2 > heap[largest].dist2) largest = r;
+      if (largest == i) break;
+      std::swap(heap[i], heap[largest]);
+      i = largest;
+    }
+  }
+
+  std::size_t num_queries_;
+  std::uint32_t k_;
+  std::vector<Entry> entries_;
+  std::vector<std::uint32_t> sizes_;
+};
+
+}  // namespace rtnn

@@ -1,0 +1,101 @@
+// Bounded max-heap ("priority queue" of the paper's KNN IS shader).
+//
+// Keeps the K smallest (distance², index) pairs seen so far. The root is
+// the current K-th nearest distance, which also serves as the shrinking
+// search radius. Fixed capacity, no allocation after construction —
+// mirrors the per-ray register/local-memory queue a GPU shader would use.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "core/error.hpp"
+
+namespace rtnn {
+
+class KnnHeap {
+ public:
+  struct Entry {
+    float dist2 = std::numeric_limits<float>::infinity();
+    std::uint32_t index = kInvalid;
+  };
+
+  static constexpr std::uint32_t kInvalid = 0xffffffffu;
+
+  explicit KnnHeap(std::uint32_t k) : k_(k) { RTNN_CHECK(k > 0, "K must be positive"); entries_.reserve(k); }
+
+  std::uint32_t capacity() const { return k_; }
+  std::uint32_t size() const { return static_cast<std::uint32_t>(entries_.size()); }
+  bool full() const { return size() == k_; }
+  bool empty() const { return entries_.empty(); }
+
+  /// Current worst (largest) kept distance²; +inf until the heap is full.
+  /// This is the radius beyond which candidates cannot improve the result.
+  float worst_dist2() const {
+    return full() ? entries_.front().dist2 : std::numeric_limits<float>::infinity();
+  }
+
+  /// Offers a candidate; keeps it only if it is among the K nearest so far.
+  /// Returns true if the candidate was kept.
+  bool push(float dist2, std::uint32_t index) {
+    if (!full()) {
+      entries_.push_back({dist2, index});
+      sift_up(size() - 1);
+      return true;
+    }
+    if (dist2 >= entries_.front().dist2) return false;
+    entries_.front() = {dist2, index};
+    sift_down(0);
+    return true;
+  }
+
+  void clear() { entries_.clear(); }
+
+  /// Destructively extracts entries sorted by ascending distance².
+  std::vector<Entry> extract_sorted() {
+    std::vector<Entry> out(entries_.size());
+    for (std::size_t i = out.size(); i-- > 0;) {
+      out[i] = entries_.front();
+      pop_root();
+    }
+    return out;
+  }
+
+  const std::vector<Entry>& raw_entries() const { return entries_; }
+
+ private:
+  void sift_up(std::uint32_t i) {
+    while (i > 0) {
+      const std::uint32_t parent = (i - 1) / 2;
+      if (entries_[parent].dist2 >= entries_[i].dist2) break;
+      std::swap(entries_[parent], entries_[i]);
+      i = parent;
+    }
+  }
+
+  void sift_down(std::uint32_t i) {
+    const std::uint32_t n = size();
+    for (;;) {
+      const std::uint32_t l = 2 * i + 1;
+      const std::uint32_t r = 2 * i + 2;
+      std::uint32_t largest = i;
+      if (l < n && entries_[l].dist2 > entries_[largest].dist2) largest = l;
+      if (r < n && entries_[r].dist2 > entries_[largest].dist2) largest = r;
+      if (largest == i) break;
+      std::swap(entries_[i], entries_[largest]);
+      i = largest;
+    }
+  }
+
+  void pop_root() {
+    entries_.front() = entries_.back();
+    entries_.pop_back();
+    if (!entries_.empty()) sift_down(0);
+  }
+
+  std::uint32_t k_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace rtnn

@@ -1,0 +1,66 @@
+#include "core/log.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <mutex>
+#include <ostream>
+
+#include "core/aabb.hpp"
+#include "core/vec3.hpp"
+
+namespace rtnn {
+
+namespace {
+
+LogLevel initial_level() {
+  if (const char* env = std::getenv("RTNN_LOG")) {
+    if (!std::strcmp(env, "debug")) return LogLevel::kDebug;
+    if (!std::strcmp(env, "info")) return LogLevel::kInfo;
+    if (!std::strcmp(env, "warn")) return LogLevel::kWarn;
+    if (!std::strcmp(env, "error")) return LogLevel::kError;
+    if (!std::strcmp(env, "off")) return LogLevel::kOff;
+  }
+  return LogLevel::kWarn;
+}
+
+std::atomic<int> g_level{static_cast<int>(initial_level())};
+std::mutex g_emit_mutex;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    default: return "?";
+  }
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(static_cast<int>(level)); }
+
+LogLevel log_level() { return static_cast<LogLevel>(g_level.load()); }
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& message) {
+  const std::lock_guard<std::mutex> lock(g_emit_mutex);
+  std::cerr << "[rtnn " << level_name(level) << "] " << message << '\n';
+}
+}  // namespace detail
+
+std::ostream& operator<<(std::ostream& os, const Vec3& v) {
+  return os << '(' << v.x << ", " << v.y << ", " << v.z << ')';
+}
+
+std::ostream& operator<<(std::ostream& os, const Int3& v) {
+  return os << '(' << v.x << ", " << v.y << ", " << v.z << ')';
+}
+
+std::ostream& operator<<(std::ostream& os, const Aabb& b) {
+  return os << "[lo=" << b.lo << " hi=" << b.hi << ']';
+}
+
+}  // namespace rtnn

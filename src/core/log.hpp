@@ -1,0 +1,37 @@
+// Tiny leveled logger for harness/bench progress output.
+#pragma once
+
+#include <iosfwd>
+#include <sstream>
+#include <string>
+
+namespace rtnn {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global threshold; messages below it are dropped. Default kWarn so
+/// library users see nothing unless they opt in (benches set kInfo).
+/// Can also be set via the RTNN_LOG environment variable
+/// (debug|info|warn|error|off).
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& message);
+}
+
+#define RTNN_LOG(level, expr)                                        \
+  do {                                                               \
+    if (static_cast<int>(level) >= static_cast<int>(::rtnn::log_level())) { \
+      std::ostringstream rtnn_log_os;                                \
+      rtnn_log_os << expr;                                           \
+      ::rtnn::detail::log_emit(level, rtnn_log_os.str());            \
+    }                                                                \
+  } while (0)
+
+#define RTNN_LOG_DEBUG(expr) RTNN_LOG(::rtnn::LogLevel::kDebug, expr)
+#define RTNN_LOG_INFO(expr) RTNN_LOG(::rtnn::LogLevel::kInfo, expr)
+#define RTNN_LOG_WARN(expr) RTNN_LOG(::rtnn::LogLevel::kWarn, expr)
+#define RTNN_LOG_ERROR(expr) RTNN_LOG(::rtnn::LogLevel::kError, expr)
+
+}  // namespace rtnn

@@ -1,0 +1,92 @@
+// Shared-memory parallel primitives.
+//
+// The paper's "SM-side" CUDA kernels (Morton sort, megacell growth, query
+// reordering) become OpenMP data-parallel loops over the same flat
+// buffers. This header is the single place that touches OpenMP; the rest
+// of the codebase expresses parallelism through parallel_for/parallel_reduce
+// so it also builds (serially) without OpenMP.
+//
+// Thread count resolution order: explicit set_num_threads() call,
+// RTNN_THREADS environment variable, then OpenMP's default.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace rtnn {
+
+/// Number of worker threads parallel_for will use.
+int num_threads();
+
+/// Override the worker count (0 = reset to environment/OpenMP default).
+/// Used by benches to model differently-sized devices (paper evaluates on
+/// both an RTX 2080 and an RTX 2080Ti).
+void set_num_threads(int n);
+
+namespace detail {
+void parallel_for_impl(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                       const std::function<void(std::int64_t, std::int64_t)>& body);
+}  // namespace detail
+
+/// Invokes `body(i)` for every i in [begin, end), split across threads.
+/// `grain` is the minimum chunk size per task; loops smaller than `grain`
+/// run serially (important: many per-partition launches are tiny).
+template <typename Body>
+void parallel_for(std::int64_t begin, std::int64_t end, Body&& body,
+                  std::int64_t grain = 1024) {
+  detail::parallel_for_impl(begin, end, grain,
+                            [&body](std::int64_t lo, std::int64_t hi) {
+                              for (std::int64_t i = lo; i < hi; ++i) body(i);
+                            });
+}
+
+/// Invokes `body(lo, hi)` on contiguous sub-ranges (for algorithms that
+/// want per-chunk state, e.g. per-thread histograms).
+template <typename Body>
+void parallel_for_chunks(std::int64_t begin, std::int64_t end, Body&& body,
+                         std::int64_t grain = 1024) {
+  detail::parallel_for_impl(begin, end, grain, std::function<void(std::int64_t, std::int64_t)>(body));
+}
+
+/// Parallel reduction: result = reduce over i of map(i), combined with `op`.
+template <typename T, typename Map, typename Op>
+T parallel_reduce(std::int64_t begin, std::int64_t end, T init, Map&& map, Op&& op,
+                  std::int64_t grain = 1024) {
+  if (end <= begin) return init;
+  const int workers = num_threads();
+  std::vector<T> partial(static_cast<std::size_t>(workers), init);
+  std::vector<bool> used(static_cast<std::size_t>(workers), false);
+  // Chunked so each worker folds locally, then a serial combine.
+  struct Slot { T value; bool used; };
+  const std::int64_t n = end - begin;
+  const std::int64_t chunk = std::max<std::int64_t>(grain, (n + workers - 1) / workers);
+  std::vector<Slot> slots;
+  slots.reserve(static_cast<std::size_t>((n + chunk - 1) / chunk));
+  for (std::int64_t lo = begin; lo < end; lo += chunk) {
+    slots.push_back(Slot{init, false});
+  }
+  detail::parallel_for_impl(0, static_cast<std::int64_t>(slots.size()), 1,
+                            [&](std::int64_t slo, std::int64_t shi) {
+                              for (std::int64_t s = slo; s < shi; ++s) {
+                                const std::int64_t lo = begin + s * chunk;
+                                const std::int64_t hi = std::min(end, lo + chunk);
+                                T acc = init;
+                                for (std::int64_t i = lo; i < hi; ++i) acc = op(acc, map(i));
+                                slots[static_cast<std::size_t>(s)] = Slot{acc, true};
+                              }
+                            });
+  T result = init;
+  for (const Slot& s : slots) {
+    if (s.used) result = op(result, s.value);
+  }
+  return result;
+}
+
+/// Exclusive prefix sum over `v` in place; returns the grand total.
+/// (Serial: the arrays this is used on — cell histograms — are small
+/// relative to the point data, and a serial scan keeps it deterministic.)
+std::uint64_t exclusive_scan(std::vector<std::uint32_t>& v);
+std::uint64_t exclusive_scan(std::vector<std::uint64_t>& v);
+
+}  // namespace rtnn

@@ -1,0 +1,27 @@
+#include "core/timing.hpp"
+
+#include <cstdio>
+#include <ostream>
+
+namespace rtnn {
+
+std::string TimeBreakdown::percent_row() const {
+  const double t = total();
+  char buf[160];
+  if (t <= 0.0) {
+    std::snprintf(buf, sizeof(buf), "%6.1f %6.1f %6.1f %6.1f %6.1f", 0.0, 0.0, 0.0, 0.0, 0.0);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%6.1f %6.1f %6.1f %6.1f %6.1f",
+                  100.0 * data / t, 100.0 * opt / t, 100.0 * bvh / t,
+                  100.0 * first_search / t, 100.0 * search / t);
+  }
+  return buf;
+}
+
+std::ostream& operator<<(std::ostream& os, const TimeBreakdown& tb) {
+  return os << "{data=" << tb.data << "s opt=" << tb.opt << "s bvh=" << tb.bvh
+            << "s fs=" << tb.first_search << "s search=" << tb.search
+            << "s total=" << tb.total() << "s}";
+}
+
+}  // namespace rtnn

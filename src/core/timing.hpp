@@ -1,0 +1,69 @@
+// Timing utilities and the per-phase time breakdown of paper Figure 12.
+#pragma once
+
+#include <chrono>
+#include <iosfwd>
+#include <string>
+
+namespace rtnn {
+
+/// Wall-clock stopwatch (steady clock, double seconds).
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  /// Seconds elapsed since construction or last reset().
+  double elapsed() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Accumulates seconds into a double on scope exit.
+class ScopedAccumulator {
+ public:
+  explicit ScopedAccumulator(double& sink) : sink_(sink) {}
+  ~ScopedAccumulator() { sink_ += timer_.elapsed(); }
+  ScopedAccumulator(const ScopedAccumulator&) = delete;
+  ScopedAccumulator& operator=(const ScopedAccumulator&) = delete;
+
+ private:
+  double& sink_;
+  Timer timer_;
+};
+
+/// The five phases the paper breaks end-to-end search time into
+/// (Figure 12): Data (host<->device transfers), Opt (applying the
+/// optimizations: reordering + partitioning), BVH (acceleration-structure
+/// builds), FS (the first, truncated search that finds first-hit AABBs),
+/// and Search (the actual neighbor search).
+struct TimeBreakdown {
+  double data = 0.0;
+  double opt = 0.0;
+  double bvh = 0.0;
+  double first_search = 0.0;
+  double search = 0.0;
+
+  double total() const { return data + opt + bvh + first_search + search; }
+
+  TimeBreakdown& operator+=(const TimeBreakdown& o) {
+    data += o.data;
+    opt += o.opt;
+    bvh += o.bvh;
+    first_search += o.first_search;
+    search += o.search;
+    return *this;
+  }
+
+  /// "Data Opt BVH FS Search" percentages, for the Figure 12 bench.
+  std::string percent_row() const;
+};
+
+std::ostream& operator<<(std::ostream& os, const TimeBreakdown& tb);
+
+}  // namespace rtnn

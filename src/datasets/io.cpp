@@ -1,0 +1,39 @@
+#include "datasets/io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "core/error.hpp"
+
+namespace rtnn::data {
+
+PointCloud read_xyz(const std::string& path) {
+  std::ifstream in(path);
+  RTNN_CHECK(in.good(), "cannot open " + path);
+  PointCloud cloud;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream ls(line);
+    Vec3 p;
+    if (!(ls >> p.x)) continue;  // blank/comment-only line
+    RTNN_CHECK(static_cast<bool>(ls >> p.y >> p.z),
+               "malformed XYZ line " + std::to_string(line_no) + " in " + path);
+    cloud.push_back(p);
+  }
+  return cloud;
+}
+
+void write_xyz(const std::string& path, const PointCloud& points) {
+  std::ofstream out(path);
+  RTNN_CHECK(out.good(), "cannot open " + path + " for writing");
+  for (const Vec3& p : points) {
+    out << p.x << ' ' << p.y << ' ' << p.z << '\n';
+  }
+  RTNN_CHECK(out.good(), "write failed for " + path);
+}
+
+}  // namespace rtnn::data

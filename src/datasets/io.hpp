@@ -1,0 +1,18 @@
+// Plain-text XYZ point-cloud IO, so users can feed real KITTI/Stanford
+// data into the examples and benches when they have it on disk.
+#pragma once
+
+#include <string>
+
+#include "datasets/point_cloud.hpp"
+
+namespace rtnn::data {
+
+/// Reads whitespace-separated "x y z" lines; '#' starts a comment.
+/// Throws rtnn::Error on malformed input or missing file.
+PointCloud read_xyz(const std::string& path);
+
+/// Writes one "x y z" line per point.
+void write_xyz(const std::string& path, const PointCloud& points);
+
+}  // namespace rtnn::data

@@ -1,0 +1,102 @@
+#include "datasets/lidar.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "core/error.hpp"
+
+namespace rtnn::data {
+
+namespace {
+
+constexpr float kPi = 3.14159265358979f;
+
+struct Box {
+  Aabb bounds;
+};
+
+// Nearest positive ray-box intersection distance, or +inf.
+float ray_box_t(const Vec3& origin, const Vec3& dir, const Aabb& box) {
+  float t0 = 1e-4f;
+  float t1 = std::numeric_limits<float>::infinity();
+  for (int axis = 0; axis < 3; ++axis) {
+    const float inv = 1.0f / dir[axis];
+    float tnear = (box.lo[axis] - origin[axis]) * inv;
+    float tfar = (box.hi[axis] - origin[axis]) * inv;
+    if (tnear > tfar) std::swap(tnear, tfar);
+    t0 = std::max(t0, tnear);
+    t1 = std::min(t1, tfar);
+    if (t0 > t1) return std::numeric_limits<float>::infinity();
+  }
+  return t0;
+}
+
+// Procedural street scene: clutter boxes with car/building-like sizes.
+std::vector<Box> make_scene(Pcg32& rng, const LidarParams& params) {
+  std::vector<Box> boxes;
+  boxes.reserve(params.num_boxes);
+  for (std::uint32_t b = 0; b < params.num_boxes; ++b) {
+    const bool building = rng.next_float() < 0.25f;
+    const float w = building ? rng.uniform(6.0f, 18.0f) : rng.uniform(1.5f, 4.5f);
+    const float d = building ? rng.uniform(6.0f, 18.0f) : rng.uniform(1.5f, 2.2f);
+    const float h = building ? rng.uniform(4.0f, 12.0f) : rng.uniform(1.2f, 2.0f);
+    const float cx = rng.uniform(-params.scene_half_extent, params.scene_half_extent);
+    const float cy = rng.uniform(-params.scene_half_extent, params.scene_half_extent);
+    // Keep a clear corridor around the scanner path (the street).
+    if (std::abs(cy) < 4.0f) continue;
+    boxes.push_back(Box{Aabb{{cx - w / 2, cy - d / 2, 0.0f}, {cx + w / 2, cy + d / 2, h}}});
+  }
+  return boxes;
+}
+
+}  // namespace
+
+PointCloud lidar_scan(const LidarParams& params) {
+  RTNN_CHECK(params.beams >= 2, "need at least two beams");
+  Pcg32 rng(params.seed, 0x10da4ull);
+  const std::vector<Box> scene = make_scene(rng, params);
+
+  PointCloud cloud;
+  cloud.reserve(params.target_points + 4096);
+
+  const float sensor_height = 1.73f;  // HDL-64 mount height on the KITTI car
+  // Points per frame = beams * azimuth steps; pick azimuth resolution so a
+  // frame is ~130k points (KITTI-like), then emit frames until target.
+  const std::uint32_t azimuth_steps = 2048;
+  float vehicle_x = 0.0f;
+  std::uint64_t frame = 0;
+  while (cloud.size() < params.target_points) {
+    const Vec3 origin{vehicle_x, rng.uniform(-0.5f, 0.5f), sensor_height};
+    for (std::uint32_t a = 0; a < azimuth_steps && cloud.size() < params.target_points; ++a) {
+      const float azimuth = (static_cast<float>(a) + rng.next_float()) /
+                                static_cast<float>(azimuth_steps) * 2.0f * kPi;
+      for (std::uint32_t b = 0; b < params.beams; ++b) {
+        const float elev_deg =
+            params.min_elevation_deg + (params.max_elevation_deg - params.min_elevation_deg) *
+                                           static_cast<float>(b) /
+                                           static_cast<float>(params.beams - 1);
+        const float elev = elev_deg * kPi / 180.0f;
+        const Vec3 dir{std::cos(elev) * std::cos(azimuth), std::cos(elev) * std::sin(azimuth),
+                       std::sin(elev)};
+        // Ground-plane hit (z = 0).
+        float t_hit = std::numeric_limits<float>::infinity();
+        if (dir.z < -1e-6f) t_hit = -origin.z / dir.z;
+        // Scene boxes.
+        for (const Box& box : scene) {
+          t_hit = std::min(t_hit, ray_box_t(origin, dir, box.bounds));
+        }
+        if (!(t_hit < params.max_range)) continue;
+        const float t_noisy = t_hit + rng.normal() * params.range_noise;
+        cloud.push_back(origin + dir * t_noisy);
+        if (cloud.size() >= params.target_points) break;
+      }
+    }
+    // Advance the vehicle ~1.5 m per frame, like consecutive KITTI frames.
+    vehicle_x += 1.5f;
+    ++frame;
+    RTNN_CHECK(frame < 100000, "lidar generator failed to reach target size");
+  }
+  return cloud;
+}
+
+}  // namespace rtnn::data

@@ -1,0 +1,74 @@
+#include "datasets/nbody.hpp"
+
+#include <cmath>
+
+#include "core/error.hpp"
+
+namespace rtnn::data {
+
+namespace {
+
+// Uniform point inside the sphere (center, radius).
+Vec3 uniform_in_sphere(Pcg32& rng, const Vec3& center, float radius) {
+  const Vec3 dir = rng.unit_vector();
+  const float u = rng.next_float();
+  return center + dir * (radius * std::cbrt(u));
+}
+
+void emit_cluster(Pcg32& rng, const Vec3& center, float radius, std::uint32_t level,
+                  std::uint32_t eta, float lambda, std::size_t points_per_leaf,
+                  PointCloud& out, std::size_t limit) {
+  if (out.size() >= limit) return;
+  if (level == 0) {
+    for (std::size_t i = 0; i < points_per_leaf && out.size() < limit; ++i) {
+      out.push_back(uniform_in_sphere(rng, center, radius));
+    }
+    return;
+  }
+  const float child_radius = radius / lambda;
+  for (std::uint32_t c = 0; c < eta; ++c) {
+    const Vec3 child_center = uniform_in_sphere(rng, center, radius - child_radius);
+    emit_cluster(rng, child_center, child_radius, level - 1, eta, lambda, points_per_leaf,
+                 out, limit);
+  }
+}
+
+}  // namespace
+
+PointCloud nbody_cluster(const NBodyParams& params) {
+  RTNN_CHECK(params.eta >= 2, "eta must be >= 2");
+  RTNN_CHECK(params.lambda > 1.0f, "lambda must be > 1");
+  Pcg32 rng(params.seed, 0xc0ffeeull);
+
+  const auto n_background =
+      static_cast<std::size_t>(static_cast<double>(params.target_points) *
+                               params.background_fraction);
+  const std::size_t n_clustered = params.target_points - n_background;
+
+  // Number of top-level clusters and leaf occupancy chosen so the full
+  // hierarchy yields ~n_clustered points: top_clusters * eta^levels leaves.
+  const double leaves_per_top = std::pow(static_cast<double>(params.eta), params.levels);
+  const std::uint32_t top_clusters = 24;
+  std::size_t points_per_leaf = static_cast<std::size_t>(
+      static_cast<double>(n_clustered) / (top_clusters * leaves_per_top));
+  if (points_per_leaf == 0) points_per_leaf = 1;
+
+  PointCloud cloud;
+  cloud.reserve(params.target_points);
+  const Aabb box{{0.0f, 0.0f, 0.0f}, {params.box_size, params.box_size, params.box_size}};
+  // Top-level cluster radii span a decade, like rich clusters vs groups.
+  while (cloud.size() < n_clustered) {
+    for (std::uint32_t c = 0; c < top_clusters && cloud.size() < n_clustered; ++c) {
+      const Vec3 center = rng.uniform_in_aabb(box.expanded(-params.box_size * 0.05f));
+      const float radius = params.box_size * rng.uniform(0.02f, 0.12f);
+      emit_cluster(rng, center, radius, params.levels, params.eta, params.lambda,
+                   points_per_leaf, cloud, n_clustered);
+    }
+  }
+  for (std::size_t i = 0; i < n_background; ++i) {
+    cloud.push_back(rng.uniform_in_aabb(box));
+  }
+  return cloud;
+}
+
+}  // namespace rtnn::data

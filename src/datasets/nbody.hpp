@@ -1,0 +1,37 @@
+// Synthetic cosmological N-body dataset (Millennium-catalogue substitute).
+//
+// The paper's third dataset is a galaxy catalogue from the Millennium
+// simulation, whose salient property is *hierarchically clustered
+// (fractal) structure*: "on scales of order 1 to 10 Mpc/h the galaxy
+// distribution is roughly hierarchical clustering (fractal) ... the
+// Millennium Simulation dataset runs 500 Mpc/h on a side and, thus,
+// exhibits the non-uniform distribution" (paper footnote 3). This is the
+// property that stresses RTNN's partitioning (many distinct megacell
+// sizes → many partitions → high Opt/BVH overhead, Figures 12/13).
+//
+// We substitute a Soneira–Peebles hierarchical clustering process — the
+// classic generative model for fractal galaxy distributions: each level
+// places `eta` child spheres of radius R/lambda uniformly inside the
+// parent sphere; leaves emit galaxies. A small uniform background
+// ("field galaxies") is mixed in.
+#pragma once
+
+#include <cstdint>
+
+#include "datasets/point_cloud.hpp"
+
+namespace rtnn::data {
+
+struct NBodyParams {
+  std::size_t target_points = 9'000'000;  // paper: 9M and 10M traces
+  std::uint64_t seed = 11;
+  float box_size = 500.0f;   // Mpc/h, like the Millennium run
+  std::uint32_t eta = 4;     // children per level
+  float lambda = 1.9f;       // radius shrink per level (fractal dim ≈ log eta / log lambda)
+  std::uint32_t levels = 9;  // recursion depth
+  float background_fraction = 0.10f;  // uniform field-galaxy fraction
+};
+
+PointCloud nbody_cluster(const NBodyParams& params);
+
+}  // namespace rtnn::data

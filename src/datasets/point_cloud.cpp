@@ -1,0 +1,61 @@
+#include "datasets/point_cloud.hpp"
+
+#include <algorithm>
+
+#include "core/error.hpp"
+
+namespace rtnn::data {
+
+Aabb bounds(std::span<const Vec3> points) {
+  Aabb box;
+  for (const Vec3& p : points) box.grow(p);
+  return box;
+}
+
+PointCloud subsample(const PointCloud& points, std::size_t target, std::uint64_t seed) {
+  if (points.size() <= target) return points;
+  // Reservoir-free approach: take a random permutation prefix.
+  PointCloud out = points;
+  Pcg32 rng(seed, 0x5ull);
+  for (std::size_t i = 0; i < target; ++i) {
+    const std::size_t j = i + rng.next_bounded(static_cast<std::uint32_t>(out.size() - i));
+    std::swap(out[i], out[j]);
+  }
+  out.resize(target);
+  return out;
+}
+
+void shuffle(PointCloud& points, std::uint64_t seed) {
+  Pcg32 rng(seed, 0x9e3779b9ull);
+  for (std::size_t i = points.size(); i > 1; --i) {
+    const std::size_t j = rng.next_bounded(static_cast<std::uint32_t>(i));
+    std::swap(points[i - 1], points[j]);
+  }
+}
+
+void fit_to(PointCloud& points, const Aabb& target) {
+  RTNN_CHECK(!target.empty(), "target bounds must be non-empty");
+  if (points.empty()) return;
+  const Aabb src = bounds(points);
+  const Vec3 src_extent = src.extent();
+  const Vec3 dst_extent = target.extent();
+  const float src_max = std::max(max_component(src_extent), 1e-30f);
+  const float scale = min_component(dst_extent) / src_max;
+  const Vec3 src_center = src.center();
+  const Vec3 dst_center = target.center();
+  for (Vec3& p : points) p = dst_center + (p - src_center) * scale;
+}
+
+PointCloud jittered_queries(const PointCloud& points, std::size_t n, float sigma,
+                            std::uint64_t seed) {
+  RTNN_CHECK(!points.empty(), "cannot derive queries from an empty cloud");
+  PointCloud queries(n);
+  Pcg32 rng(seed, 0x2545F4914F6CDD1Dull);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Vec3& base = points[rng.next_bounded(static_cast<std::uint32_t>(points.size()))];
+    queries[i] = base + Vec3{rng.normal(), rng.normal(), rng.normal()} * sigma;
+  }
+  return queries;
+}
+
+}  // namespace rtnn::data

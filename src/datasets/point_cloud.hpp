@@ -1,0 +1,38 @@
+// Common point-cloud helpers shared by the dataset generators.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/aabb.hpp"
+#include "core/rng.hpp"
+#include "core/vec3.hpp"
+
+namespace rtnn::data {
+
+using PointCloud = std::vector<Vec3>;
+
+/// Tight bounds of a cloud.
+Aabb bounds(std::span<const Vec3> points);
+
+/// Uniformly subsamples `points` down to `target` points (deterministic
+/// given `seed`); returns the input unchanged if it is already smaller.
+PointCloud subsample(const PointCloud& points, std::size_t target, std::uint64_t seed);
+
+/// Fisher-Yates shuffle (used to make *incoherent* query orders for the
+/// Figure 5/6 coherence experiments).
+void shuffle(PointCloud& points, std::uint64_t seed);
+
+/// Rescales the cloud so its bounds become `target` (aspect-preserving
+/// fit, centered). The paper normalizes e.g. Buddha into a unit cube.
+void fit_to(PointCloud& points, const Aabb& target);
+
+/// Draws `n` query points by jittering randomly-chosen data points with
+/// Gaussian noise of scale `sigma` — queries distributed like the data,
+/// which is how neighbor-search workloads look in the paper's domains
+/// (every particle/point queries its own neighborhood).
+PointCloud jittered_queries(const PointCloud& points, std::size_t n, float sigma,
+                            std::uint64_t seed);
+
+}  // namespace rtnn::data

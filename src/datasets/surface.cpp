@@ -1,0 +1,120 @@
+#include "datasets/surface.hpp"
+
+#include <cmath>
+
+namespace rtnn::data {
+
+namespace {
+
+struct Lobe {
+  float amplitude;
+  int freq_theta;
+  int freq_phi;
+  float phase;
+};
+
+// Per-model displacement spectra: Bunny = few smooth lobes; Dragon =
+// elongated with mid-frequency ridges; Buddha = tall with fine detail.
+std::vector<Lobe> model_lobes(SurfaceModel model, Pcg32& rng) {
+  std::vector<Lobe> lobes;
+  auto add = [&](int n, float amp_lo, float amp_hi, int f_lo, int f_hi) {
+    for (int i = 0; i < n; ++i) {
+      const auto span = static_cast<std::uint32_t>(f_hi - f_lo + 1);
+      lobes.push_back(Lobe{rng.uniform(amp_lo, amp_hi),
+                           static_cast<int>(rng.next_bounded(span)) + f_lo,
+                           static_cast<int>(rng.next_bounded(span)) + f_lo,
+                           rng.uniform(0.0f, 6.2831853f)});
+    }
+  };
+  switch (model) {
+    case SurfaceModel::kBunny:
+      add(4, 0.08f, 0.20f, 1, 3);
+      break;
+    case SurfaceModel::kDragon:
+      add(3, 0.10f, 0.22f, 1, 3);
+      add(6, 0.02f, 0.06f, 4, 9);
+      break;
+    case SurfaceModel::kBuddha:
+      add(3, 0.08f, 0.18f, 1, 2);
+      add(10, 0.01f, 0.05f, 5, 13);
+      break;
+  }
+  return lobes;
+}
+
+Vec3 model_stretch(SurfaceModel model) {
+  switch (model) {
+    case SurfaceModel::kBunny: return {1.0f, 0.9f, 1.1f};
+    case SurfaceModel::kDragon: return {1.8f, 0.7f, 0.9f};  // elongated body
+    case SurfaceModel::kBuddha: return {0.8f, 0.8f, 1.6f};  // tall statue
+  }
+  return Vec3{1.0f};
+}
+
+float scan_noise(SurfaceModel model) {
+  switch (model) {
+    case SurfaceModel::kBunny: return 0.0015f;
+    case SurfaceModel::kDragon: return 0.0010f;
+    case SurfaceModel::kBuddha: return 0.0008f;
+  }
+  return 0.001f;
+}
+
+}  // namespace
+
+PointCloud surface_scan(const SurfaceParams& params) {
+  Pcg32 rng(params.seed, 0xd15ea5eull);
+  const std::vector<Lobe> lobes = model_lobes(params.model, rng);
+  const Vec3 stretch = model_stretch(params.model);
+  const float noise = scan_noise(params.model);
+
+  PointCloud cloud;
+  cloud.reserve(params.target_points);
+  while (cloud.size() < params.target_points) {
+    // Area-uniform sample on the unit sphere, then radial displacement.
+    const Vec3 u = rng.unit_vector();
+    const float theta = std::acos(std::clamp(u.z, -1.0f, 1.0f));
+    const float phi = std::atan2(u.y, u.x);
+    float radius = 1.0f;
+    for (const Lobe& lobe : lobes) {
+      radius += lobe.amplitude *
+                std::sin(static_cast<float>(lobe.freq_theta) * theta + lobe.phase) *
+                std::cos(static_cast<float>(lobe.freq_phi) * phi);
+    }
+    radius = std::max(radius, 0.2f);  // keep the surface star-shaped
+    Vec3 p = u * radius;
+    p = Vec3{p.x * stretch.x, p.y * stretch.y, p.z * stretch.z};
+    // Scanner range noise along the (approximate) normal direction.
+    p += u * (rng.normal() * noise);
+    cloud.push_back(p);
+  }
+  // The paper's models are normalized; Buddha explicitly sits in a 1^3 cube.
+  fit_to(cloud, Aabb{{0.0f, 0.0f, 0.0f}, {1.0f, 1.0f, 1.0f}});
+  return cloud;
+}
+
+PointCloud bunny(double scale, std::uint64_t seed) {
+  SurfaceParams p;
+  p.model = SurfaceModel::kBunny;
+  p.target_points = static_cast<std::size_t>(360'000 * scale);
+  p.seed = seed;
+  return surface_scan(p);
+}
+
+PointCloud dragon(double scale, std::uint64_t seed) {
+  SurfaceParams p;
+  p.model = SurfaceModel::kDragon;
+  p.target_points = static_cast<std::size_t>(3'600'000 * scale);
+  p.seed = seed;
+  return surface_scan(p);
+}
+
+PointCloud buddha(double scale, std::uint64_t seed) {
+  SurfaceParams p;
+  p.model = SurfaceModel::kBuddha;
+  p.target_points = static_cast<std::size_t>(4'600'000 * scale);
+  p.seed = seed;
+  return surface_scan(p);
+}
+
+}  // namespace rtnn::data

@@ -1,0 +1,39 @@
+#include "datasets/uniform.hpp"
+
+namespace rtnn::data {
+
+PointCloud uniform_box(std::size_t n, const Aabb& box, std::uint64_t seed) {
+  PointCloud cloud(n);
+  Pcg32 rng(seed, 0xabcdefull);
+  for (Vec3& p : cloud) p = rng.uniform_in_aabb(box);
+  return cloud;
+}
+
+PointCloud grid_queries_raster(const GridQueryParams& params) {
+  const std::uint32_t res = params.resolution;
+  PointCloud cloud;
+  cloud.reserve(static_cast<std::size_t>(res) * res * res * params.queries_per_cell);
+  Pcg32 rng(params.seed, 0xfeedull);
+  const Vec3 extent = params.box.extent();
+  const Vec3 cell{extent.x / static_cast<float>(res), extent.y / static_cast<float>(res),
+                  extent.z / static_cast<float>(res)};
+  for (std::uint32_t z = 0; z < res; ++z) {
+    for (std::uint32_t y = 0; y < res; ++y) {
+      for (std::uint32_t x = 0; x < res; ++x) {
+        const Vec3 corner = params.box.lo +
+                            Vec3{static_cast<float>(x) * cell.x, static_cast<float>(y) * cell.y,
+                                 static_cast<float>(z) * cell.z};
+        for (std::uint32_t q = 0; q < params.queries_per_cell; ++q) {
+          const Vec3 offset{
+              cell.x * (0.5f + params.jitter * (rng.next_float() - 0.5f)),
+              cell.y * (0.5f + params.jitter * (rng.next_float() - 0.5f)),
+              cell.z * (0.5f + params.jitter * (rng.next_float() - 0.5f))};
+          cloud.push_back(corner + offset);
+        }
+      }
+    }
+  }
+  return cloud;
+}
+
+}  // namespace rtnn::data

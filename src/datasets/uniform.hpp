@@ -1,0 +1,30 @@
+// Uniform and grid-structured point sets for controlled characterization
+// experiments (paper Figures 5-8: queries assigned uniformly to the cells
+// of a 3D grid, compared in raster-scan vs random order).
+#pragma once
+
+#include <cstdint>
+
+#include "datasets/point_cloud.hpp"
+
+namespace rtnn::data {
+
+/// `n` points uniform in `box`.
+PointCloud uniform_box(std::size_t n, const Aabb& box, std::uint64_t seed);
+
+struct GridQueryParams {
+  /// Grid resolution per axis; queries = res³ × queries_per_cell.
+  std::uint32_t resolution = 64;
+  std::uint32_t queries_per_cell = 1;
+  Aabb box{{0.0f, 0.0f, 0.0f}, {1.0f, 1.0f, 1.0f}};
+  /// Jitter within the cell (0 = cell centers exactly).
+  float jitter = 0.5f;
+  std::uint64_t seed = 1;
+};
+
+/// Queries assigned uniformly to the cells of a 3D grid, emitted in
+/// raster-scan order of the cells (x fastest) — the *coherent* ordering of
+/// the Figure 5 experiment. Shuffle the result for the incoherent case.
+PointCloud grid_queries_raster(const GridQueryParams& params);
+
+}  // namespace rtnn::data

@@ -1,0 +1,20 @@
+#include "optix/optix.hpp"
+
+#include "core/timing.hpp"
+
+namespace rtnn::ox {
+
+Accel Context::build_accel(std::span<const Aabb> prim_aabbs,
+                           const AccelBuildOptions& options) const {
+  Timer timer;
+  auto bvh = std::make_shared<rt::Bvh>();
+  rt::BvhBuildOptions build_options;
+  build_options.leaf_size = options.leaf_size;
+  bvh->build(prim_aabbs, build_options);
+  Accel accel;
+  accel.bvh_ = std::move(bvh);
+  accel.build_seconds_ = timer.elapsed();
+  return accel;
+}
+
+}  // namespace rtnn::ox

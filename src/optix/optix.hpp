@@ -1,0 +1,170 @@
+// rtnn::ox — an OptiX-7-shaped host API over the rtcore substrate.
+//
+// The paper programs the RT cores through OptiX (section 2.3, Figure 3):
+// build an acceleration structure over custom AABB primitives, then launch
+// a pipeline whose programmable stages (Ray Generation, Intersection,
+// Any-Hit, Closest-Hit, Miss) are user shaders compiled into one kernel.
+// This header reproduces that programming model so the RTNN algorithm code
+// reads like its CUDA/OptiX original:
+//
+//   * ox::Context::build_accel(aabbs)  ~ optixAccelBuild over
+//     OPTIX_BUILD_INPUT_TYPE_CUSTOM_PRIMITIVES
+//   * ox::launch(ctx, accel, pipeline, width) ~ optixLaunch
+//   * Pipeline::raygen(i) is the RG shader: it returns the ray for launch
+//     index i (optixGetLaunchIndex + optixTrace).
+//   * Pipeline::intersection(ray, prim) is the IS shader; returning
+//     TraceAction::kTerminate is the AH shader calling
+//     optixTerminateRay().
+//   * Optional Pipeline::closest_hit(ray) / Pipeline::miss(ray) run after
+//     traversal completes, depending on whether any IS call was made for
+//     the ray.
+//
+// "Single Instruction Multiple Rays": each launch index maps to one ray /
+// one SIMT lane; the warp-lockstep execution model is selected through
+// LaunchOptions.
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+#include <memory>
+#include <span>
+
+#include "core/aabb.hpp"
+#include "core/error.hpp"
+#include "rtcore/bvh.hpp"
+#include "rtcore/traversal.hpp"
+
+namespace rtnn::ox {
+
+using rt::ExecutionModel;
+using rt::LaunchStats;
+using rt::TraceAction;
+
+struct AccelBuildOptions {
+  /// Primitives per BVH leaf (1 = RTNN's configuration).
+  std::uint32_t leaf_size = 1;
+};
+
+/// Geometry acceleration structure (GAS) over custom AABB primitives.
+class Accel {
+ public:
+  Accel() = default;
+
+  const rt::Bvh& bvh() const {
+    RTNN_CHECK(bvh_ != nullptr, "accel not built");
+    return *bvh_;
+  }
+
+  std::uint32_t prim_count() const { return bvh_ ? bvh_->prim_count() : 0; }
+  bool built() const { return bvh_ != nullptr; }
+
+  /// Build-time of the last build, seconds (the BVH phase of Figure 12).
+  double build_seconds() const { return build_seconds_; }
+
+ private:
+  friend class Context;
+  std::shared_ptr<const rt::Bvh> bvh_;
+  double build_seconds_ = 0.0;
+};
+
+struct LaunchOptions {
+  ExecutionModel model = ExecutionModel::kIndependent;
+  bool parallel = true;
+  bool simulate_caches = false;
+  bool collect_stats = true;
+};
+
+/// Shader-pipeline concepts. A pipeline must at least provide the RG and
+/// IS shaders; AH (termination), CH and Miss are optional, mirroring
+/// OptiX where those program groups may be null.
+template <typename P>
+concept RayGenShader = requires(P p, std::uint32_t i) {
+  { p.raygen(i) } -> std::convertible_to<Ray>;
+};
+
+template <typename P>
+concept IntersectionShader = requires(P p, std::uint32_t ray, std::uint32_t prim) {
+  { p.intersection(ray, prim) } -> std::same_as<TraceAction>;
+};
+
+template <typename P>
+concept HasClosestHit = requires(P p, std::uint32_t ray) { p.closest_hit(ray); };
+
+template <typename P>
+concept HasMiss = requires(P p, std::uint32_t ray) { p.miss(ray); };
+
+template <typename P>
+concept PipelineShaders = RayGenShader<P> && IntersectionShader<P>;
+
+/// The device context. Owns nothing mutable besides configuration; accels
+/// and launches are independent, so one Context can serve concurrent
+/// pipelines (RTNN launches one pipeline per query partition).
+class Context {
+ public:
+  Context() = default;
+
+  /// Builds a GAS over custom primitive AABBs. Mirrors optixAccelBuild:
+  /// the returned Accel snapshots the primitive boxes.
+  Accel build_accel(std::span<const Aabb> prim_aabbs,
+                    const AccelBuildOptions& options = {}) const;
+};
+
+namespace detail {
+
+template <PipelineShaders P>
+struct ProgramAdapter {
+  P& pipeline;
+  // One byte per ray: whether the IS shader ran for it ("found a hit?"
+  // branch of Figure 3). Only allocated when CH/Miss shaders exist.
+  std::vector<std::uint8_t>* is_invoked;
+
+  TraceAction intersect(std::uint32_t ray_id, std::uint32_t prim_id) {
+    if (is_invoked) (*is_invoked)[ray_id] = 1;
+    return pipeline.intersection(ray_id, prim_id);
+  }
+};
+
+}  // namespace detail
+
+/// optixLaunch: runs the RG shader for every index in [0, width), traces
+/// the generated rays, and dispatches CH/Miss per ray if the pipeline
+/// defines them.
+template <PipelineShaders P>
+LaunchStats launch(const Accel& accel, P& pipeline, std::uint32_t width,
+                   const LaunchOptions& options = {}) {
+  RTNN_CHECK(accel.built(), "launch against an unbuilt accel");
+
+  // RG shader: materialize rays (the engine consumes them as a span; the
+  // RG stage is a data-parallel kernel of its own).
+  std::vector<Ray> rays(width);
+  parallel_for(0, width, [&](std::int64_t i) {
+    rays[static_cast<std::size_t>(i)] = pipeline.raygen(static_cast<std::uint32_t>(i));
+  });
+
+  constexpr bool kNeedsHitInfo = HasClosestHit<P> || HasMiss<P>;
+  std::vector<std::uint8_t> is_invoked;
+  if constexpr (kNeedsHitInfo) is_invoked.assign(width, 0);
+
+  detail::ProgramAdapter<P> adapter{pipeline, kNeedsHitInfo ? &is_invoked : nullptr};
+
+  rt::TraceConfig config;
+  config.model = options.model;
+  config.parallel = options.parallel;
+  config.simulate_caches = options.simulate_caches;
+  config.collect_stats = options.collect_stats || options.simulate_caches;
+  const LaunchStats stats = rt::trace(accel.bvh(), std::span<const Ray>(rays), adapter, config);
+
+  if constexpr (kNeedsHitInfo) {
+    parallel_for(0, width, [&](std::int64_t i) {
+      const auto ray = static_cast<std::uint32_t>(i);
+      if (is_invoked[ray]) {
+        if constexpr (HasClosestHit<P>) pipeline.closest_hit(ray);
+      } else {
+        if constexpr (HasMiss<P>) pipeline.miss(ray);
+      }
+    });
+  }
+  return stats;
+}
+
+}  // namespace rtnn::ox

@@ -1,0 +1,352 @@
+#include "rtcore/bvh.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <numeric>
+
+#include "core/error.hpp"
+#include "core/morton.hpp"
+#include "core/parallel.hpp"
+#include "core/sort.hpp"
+
+namespace rtnn::rt {
+
+namespace {
+
+// Highest set bit position of x (x != 0).
+inline int high_bit(std::uint64_t x) { return 63 - std::countl_zero(x); }
+
+// Split position of the Morton-sorted range [lo, hi): first index whose
+// code differs from codes[lo] at the highest differing bit; median split
+// for duplicated codes.
+std::uint32_t split_range(const std::vector<std::uint64_t>& codes, std::uint32_t lo,
+                          std::uint32_t hi) {
+  const std::uint32_t count = hi - lo;
+  const std::uint64_t first_code = codes[lo];
+  const std::uint64_t last_code = codes[hi - 1];
+  if (first_code == last_code) return lo + count / 2;
+  const int split_bit = high_bit(first_code ^ last_code);
+  const std::uint64_t mask = ~((std::uint64_t{1} << split_bit) - 1);
+  const std::uint64_t prefix = first_code & mask;
+  std::uint32_t first = lo;
+  std::uint32_t len = count;
+  while (len > 1) {
+    const std::uint32_t half = len / 2;
+    const std::uint32_t probe = first + half;
+    if ((codes[probe] & mask) == prefix) {
+      first = probe;
+      len -= half;
+    } else {
+      len = half;
+    }
+  }
+  RTNN_DCHECK(first + 1 > lo && first + 1 < hi, "degenerate Morton split");
+  return first + 1;
+}
+
+struct SubtreeBuilder {
+  const std::vector<std::uint64_t>& codes;
+  const std::vector<std::uint32_t>& prim_order;
+  const std::vector<Aabb>& prim_aabbs;
+  std::uint32_t leaf_size;
+  std::vector<BvhNode>& nodes;
+  std::uint32_t max_depth = 0;
+
+  std::uint32_t build(std::uint32_t lo, std::uint32_t hi, std::uint32_t depth) {
+    max_depth = std::max(max_depth, depth);
+    const auto index = static_cast<std::uint32_t>(nodes.size());
+    nodes.emplace_back();
+    const std::uint32_t count = hi - lo;
+    if (count <= leaf_size) {
+      Aabb bounds;
+      for (std::uint32_t s = lo; s < hi; ++s) bounds.grow(prim_aabbs[prim_order[s]]);
+      BvhNode& leaf = nodes[index];
+      leaf.bounds = bounds;
+      leaf.first = lo;
+      leaf.count = count;
+      return index;
+    }
+    const std::uint32_t mid = split_range(codes, lo, hi);
+    const std::uint32_t left = build(lo, mid, depth + 1);
+    const std::uint32_t right = build(mid, hi, depth + 1);
+    BvhNode& node = nodes[index];
+    node.left = left;
+    node.right = right;
+    node.count = 0;
+    node.bounds = unite(nodes[left].bounds, nodes[right].bounds);
+    return index;
+  }
+};
+
+// Builds a subtree directly into a preallocated global node array (only
+// valid for leaf_size == 1, where a range of `len` primitives occupies
+// exactly 2*len-1 slots in pre-order).
+struct FixedSlotBuilder {
+  const std::vector<std::uint64_t>& codes;
+  const std::vector<std::uint32_t>& prim_order;
+  const std::vector<Aabb>& prim_aabbs;
+  BvhNode* nodes;
+  std::uint32_t max_depth = 0;
+
+  void build(std::uint32_t slot, std::uint32_t lo, std::uint32_t hi,
+             std::uint32_t depth) {
+    max_depth = std::max(max_depth, depth);
+    BvhNode& node = nodes[slot];
+    if (hi - lo == 1) {
+      node.bounds = prim_aabbs[prim_order[lo]];
+      node.first = lo;
+      node.count = 1;
+      return;
+    }
+    const std::uint32_t mid = split_range(codes, lo, hi);
+    const std::uint32_t left = slot + 1;
+    const std::uint32_t right = slot + 1 + (2 * (mid - lo) - 1);
+    build(left, lo, mid, depth + 1);
+    build(right, mid, hi, depth + 1);
+    node.left = left;
+    node.right = right;
+    node.count = 0;
+    node.bounds = unite(nodes[left].bounds, nodes[right].bounds);
+  }
+};
+
+}  // namespace
+
+void Bvh::build(std::span<const Aabb> prims, const BvhBuildOptions& options) {
+  RTNN_CHECK(options.leaf_size >= 1, "leaf_size must be >= 1");
+  nodes_.clear();
+  prim_order_.clear();
+  prim_aabbs_.assign(prims.begin(), prims.end());
+  leaf_size_ = options.leaf_size;
+  max_depth_seen_ = 0;
+  scene_bounds_ = Aabb{};
+  const auto n = static_cast<std::uint32_t>(prims.size());
+  if (n == 0) return;
+
+  // Centroid bounds for Morton normalization (parallel reduction).
+  struct Bounds2Acc {
+    Aabb centroid;
+    Aabb scene;
+    std::uint64_t empties = 0;
+  };
+  const Bounds2Acc totals = parallel_reduce<Bounds2Acc>(
+      0, n, Bounds2Acc{},
+      [&](std::int64_t i) {
+        const Aabb& b = prims[static_cast<std::size_t>(i)];
+        Bounds2Acc out;
+        if (b.empty()) {
+          out.empties = 1;  // diagnosed after the parallel region
+        } else {
+          out.centroid.grow(b.center());
+          out.scene = b;
+        }
+        return out;
+      },
+      [](Bounds2Acc a, const Bounds2Acc& b) {
+        a.centroid.grow(b.centroid);
+        a.scene.grow(b.scene);
+        a.empties += b.empties;
+        return a;
+      },
+      4096);
+  RTNN_CHECK(totals.empties == 0, "cannot build BVH over an empty AABB");
+  scene_bounds_ = totals.scene;
+
+  // Morton-sort primitive indices by centroid.
+  std::vector<std::uint64_t> codes(n);
+  parallel_for(0, n, [&](std::int64_t i) {
+    codes[static_cast<std::size_t>(i)] =
+        morton3d_63(prims[static_cast<std::size_t>(i)].center(), totals.centroid);
+  });
+  prim_order_.resize(n);
+  std::iota(prim_order_.begin(), prim_order_.end(), 0u);
+  radix_sort_pairs(codes, prim_order_);
+
+  // Small builds: one serial pass.
+  const int workers = num_threads();
+  const std::uint32_t cutoff = std::max<std::uint32_t>(
+      4 * 1024, n / static_cast<std::uint32_t>(8 * std::max(workers, 1)));
+  if (workers <= 1 || n <= 2 * cutoff) {
+    nodes_.reserve(2 * static_cast<std::size_t>(n));
+    SubtreeBuilder builder{codes, prim_order_, prim_aabbs_, leaf_size_, nodes_};
+    builder.build(0, n, 0);
+    max_depth_seen_ = builder.max_depth;
+    return;
+  }
+
+  // Parallel build: split the sorted range top-down into tasks, build each
+  // subtree independently, then stitch the pieces with index fix-up.
+  struct Task {
+    std::uint32_t lo, hi;
+    std::uint32_t parent;  // top-skeleton node to patch
+    bool is_left;
+  };
+  std::vector<Task> tasks;
+  std::vector<std::uint32_t> top_internal;  // indices of skeleton nodes, pre-order
+
+  // Build the skeleton serially (explicit stack to keep pre-order simple).
+  struct Frame {
+    std::uint32_t lo, hi, parent, depth;
+    bool is_left;
+  };
+  std::vector<Frame> stack{{0, n, 0xffffffffu, 0, false}};
+  std::vector<std::uint32_t> task_depth;
+  nodes_.reserve(2 * static_cast<std::size_t>(n));
+  while (!stack.empty()) {
+    const Frame f = stack.back();
+    stack.pop_back();
+    if (f.hi - f.lo <= cutoff) {
+      tasks.push_back({f.lo, f.hi, f.parent, f.is_left});
+      task_depth.push_back(f.depth);
+      continue;
+    }
+    const auto index = static_cast<std::uint32_t>(nodes_.size());
+    nodes_.emplace_back();
+    top_internal.push_back(index);
+    if (f.parent != 0xffffffffu) {
+      (f.is_left ? nodes_[f.parent].left : nodes_[f.parent].right) = index;
+    }
+    const std::uint32_t mid = split_range(codes, f.lo, f.hi);
+    stack.push_back({mid, f.hi, index, f.depth + 1, false});
+    stack.push_back({f.lo, mid, index, f.depth + 1, true});
+  }
+
+  // Build every task subtree in parallel.
+  std::vector<std::uint32_t> local_depth(tasks.size(), 0);
+  if (leaf_size_ == 1) {
+    // Subtree sizes are exact (2*len-1): build straight into the global
+    // array at precomputed offsets — no local buffers, no stitch copy.
+    std::vector<std::size_t> offsets(tasks.size());
+    std::size_t total = nodes_.size();
+    for (std::size_t t = 0; t < tasks.size(); ++t) {
+      offsets[t] = total;
+      total += 2 * static_cast<std::size_t>(tasks[t].hi - tasks[t].lo) - 1;
+    }
+    nodes_.resize(total);
+    for (std::size_t t = 0; t < tasks.size(); ++t) {
+      const Task& task = tasks[t];
+      const auto root = static_cast<std::uint32_t>(offsets[t]);
+      (task.is_left ? nodes_[task.parent].left : nodes_[task.parent].right) = root;
+    }
+    parallel_for(0, static_cast<std::int64_t>(tasks.size()), [&](std::int64_t t) {
+      const Task& task = tasks[static_cast<std::size_t>(t)];
+      FixedSlotBuilder builder{codes, prim_order_, prim_aabbs_, nodes_.data()};
+      builder.build(static_cast<std::uint32_t>(offsets[static_cast<std::size_t>(t)]),
+                    task.lo, task.hi, 0);
+      local_depth[static_cast<std::size_t>(t)] = builder.max_depth;
+    }, 1);
+  } else {
+    // General leaf sizes: build locally and stitch with index fix-up.
+    std::vector<std::vector<BvhNode>> local(tasks.size());
+    parallel_for(0, static_cast<std::int64_t>(tasks.size()), [&](std::int64_t t) {
+      const Task& task = tasks[static_cast<std::size_t>(t)];
+      auto& nodes = local[static_cast<std::size_t>(t)];
+      nodes.reserve(2 * static_cast<std::size_t>(task.hi - task.lo));
+      SubtreeBuilder builder{codes, prim_order_, prim_aabbs_, leaf_size_, nodes};
+      builder.build(task.lo, task.hi, 0);
+      local_depth[static_cast<std::size_t>(t)] = builder.max_depth;
+    }, 1);
+    std::vector<std::size_t> offsets(tasks.size());
+    std::size_t total = nodes_.size();
+    for (std::size_t t = 0; t < tasks.size(); ++t) {
+      offsets[t] = total;
+      total += local[t].size();
+    }
+    nodes_.resize(total);
+    parallel_for(0, static_cast<std::int64_t>(tasks.size()), [&](std::int64_t ti) {
+      const auto t = static_cast<std::size_t>(ti);
+      const auto base = static_cast<std::uint32_t>(offsets[t]);
+      BvhNode* dst = nodes_.data() + offsets[t];
+      for (std::size_t i = 0; i < local[t].size(); ++i) {
+        BvhNode node = local[t][i];
+        if (!node.is_leaf()) {
+          node.left += base;
+          node.right += base;
+        }
+        dst[i] = node;
+      }
+    }, 1);
+    for (std::size_t t = 0; t < tasks.size(); ++t) {
+      const Task& task = tasks[t];
+      const auto root = static_cast<std::uint32_t>(offsets[t]);
+      (task.is_left ? nodes_[task.parent].left : nodes_[task.parent].right) = root;
+    }
+  }
+
+  // Skeleton bounds, bottom-up. Pre-order creation means children always
+  // come after parents among skeleton nodes, but skeleton children may be
+  // task roots (which already have bounds); walk the skeleton in reverse.
+  for (auto it = top_internal.rbegin(); it != top_internal.rend(); ++it) {
+    BvhNode& node = nodes_[*it];
+    node.count = 0;
+    node.bounds = unite(nodes_[node.left].bounds, nodes_[node.right].bounds);
+  }
+
+  std::uint32_t deepest = 0;
+  for (std::size_t t = 0; t < tasks.size(); ++t) {
+    deepest = std::max(deepest, local_depth[t] + task_depth[t]);
+  }
+  max_depth_seen_ = deepest;
+}
+
+BvhStats Bvh::stats() const {
+  BvhStats s;
+  s.node_count = static_cast<std::uint32_t>(nodes_.size());
+  s.max_depth = max_depth_seen_;
+  if (nodes_.empty()) return s;
+  const double root_area = nodes_[0].bounds.surface_area();
+  for (const BvhNode& n : nodes_) {
+    if (n.is_leaf()) ++s.leaf_count;
+    if (root_area > 0.0) {
+      // SAH: traversal cost 1 per interior node, intersection cost 1 per
+      // primitive, weighted by the probability a random ray visits.
+      const double p = n.bounds.surface_area() / root_area;
+      s.sah_cost += p * (n.is_leaf() ? n.count : 1.0);
+    }
+  }
+  return s;
+}
+
+void Bvh::validate() const {
+  if (nodes_.empty()) {
+    RTNN_CHECK(prim_aabbs_.empty(), "empty tree but primitives present");
+    return;
+  }
+  const auto n_prims = static_cast<std::uint32_t>(prim_aabbs_.size());
+  RTNN_CHECK(prim_order_.size() == n_prims, "prim_order size mismatch");
+
+  std::vector<std::uint32_t> slot_seen(n_prims, 0);
+  std::vector<std::uint8_t> node_seen(nodes_.size(), 0);
+  std::vector<std::uint32_t> stack{root()};
+  while (!stack.empty()) {
+    const std::uint32_t ni = stack.back();
+    stack.pop_back();
+    RTNN_CHECK(ni < nodes_.size(), "child index out of range");
+    RTNN_CHECK(!node_seen[ni], "node reachable twice (cycle or DAG)");
+    node_seen[ni] = 1;
+    const BvhNode& node = nodes_[ni];
+    if (node.is_leaf()) {
+      RTNN_CHECK(node.first + node.count <= n_prims, "leaf slot range out of bounds");
+      for (std::uint32_t s = node.first; s < node.first + node.count; ++s) {
+        const std::uint32_t prim = prim_order_[s];
+        RTNN_CHECK(prim < n_prims, "primitive id out of range");
+        ++slot_seen[prim];
+        RTNN_CHECK(node.bounds.contains(prim_aabbs_[prim]),
+                   "leaf bounds do not contain primitive AABB");
+      }
+    } else {
+      RTNN_CHECK(node.left != node.right, "interior node with identical children");
+      const BvhNode& l = nodes_[node.left];
+      const BvhNode& r = nodes_[node.right];
+      RTNN_CHECK(node.bounds.contains(l.bounds), "parent does not contain left child");
+      RTNN_CHECK(node.bounds.contains(r.bounds), "parent does not contain right child");
+      stack.push_back(node.left);
+      stack.push_back(node.right);
+    }
+  }
+  for (std::uint32_t p = 0; p < n_prims; ++p) {
+    RTNN_CHECK(slot_seen[p] == 1, "primitive not in exactly one leaf");
+  }
+}
+
+}  // namespace rtnn::rt

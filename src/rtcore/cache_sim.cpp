@@ -1,0 +1,54 @@
+#include "rtcore/cache_sim.hpp"
+
+#include <bit>
+
+#include "core/error.hpp"
+
+namespace rtnn::rt {
+
+Cache::Cache(const CacheConfig& config) : config_(config) {
+  RTNN_CHECK(config.line_bytes > 0 && std::has_single_bit(config.line_bytes),
+             "line size must be a power of two");
+  RTNN_CHECK(config.ways > 0, "associativity must be positive");
+  const std::uint32_t lines = config.size_bytes / config.line_bytes;
+  RTNN_CHECK(lines >= config.ways, "cache smaller than one set");
+  num_sets_ = lines / config.ways;
+  RTNN_CHECK(std::has_single_bit(num_sets_), "number of sets must be a power of two");
+  lines_.resize(static_cast<std::size_t>(num_sets_) * config.ways);
+}
+
+bool Cache::access(std::uint64_t address) {
+  ++stats_.accesses;
+  ++tick_;
+  const std::uint64_t line_addr = address / config_.line_bytes;
+  const std::uint32_t set = static_cast<std::uint32_t>(line_addr & (num_sets_ - 1));
+  const std::uint64_t tag = line_addr >> std::countr_zero(num_sets_);
+  Line* base = &lines_[static_cast<std::size_t>(set) * config_.ways];
+
+  Line* victim = base;
+  for (std::uint32_t w = 0; w < config_.ways; ++w) {
+    Line& line = base[w];
+    if (line.valid && line.tag == tag) {
+      line.lru = tick_;
+      ++stats_.hits;
+      return true;
+    }
+    if (!line.valid) {
+      victim = &line;
+    } else if (victim->valid && line.lru < victim->lru) {
+      victim = &line;
+    }
+  }
+  victim->valid = true;
+  victim->tag = tag;
+  victim->lru = tick_;
+  return false;
+}
+
+void Cache::reset() {
+  for (Line& line : lines_) line = Line{};
+  stats_ = CacheStats{};
+  tick_ = 0;
+}
+
+}  // namespace rtnn::rt

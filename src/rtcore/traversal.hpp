@@ -1,0 +1,271 @@
+// BVH traversal engine — the RT-core substitute.
+//
+// Two execution models:
+//
+//  * kIndependent — every ray traverses on its own stack; rays are spread
+//    across OpenMP threads. This is the fast path used for wall-clock
+//    performance measurements.
+//
+//  * kWarpLockstep — rays are grouped into 32-lane warps that advance in
+//    lockstep, the way the SIMT hardware schedules them (paper section
+//    3.2.1: "OptiX groups every 32 adjacent rays generated in the RG
+//    shader into a warp"). In each lockstep iteration every active lane
+//    pops one node; lanes that popped *different* nodes serialize into
+//    sub-steps (control-flow divergence), and each unique node fetch is
+//    replayed through the cache simulator. Incoherent rays therefore cost
+//    more sub-steps, idle more lane slots (lower occupancy) and miss the
+//    caches more — exactly the effects of paper Figures 5 and 6.
+//
+// The `Program` template parameter plays the role of the compiled shader
+// kernel: `program.intersect(ray_id, prim_id)` is the IS shader, invoked
+// for each primitive whose AABB the ray intersects; returning
+// TraceAction::kTerminate is the AH shader's optixTerminateRay (used by
+// RTNN when K neighbors have been found, and by the scheduling pass to
+// stop at the first hit).
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <span>
+
+#include "core/aabb.hpp"
+#include "core/error.hpp"
+#include "core/parallel.hpp"
+#include "rtcore/bvh.hpp"
+#include "rtcore/cache_sim.hpp"
+#include "rtcore/launch_stats.hpp"
+
+namespace rtnn::rt {
+
+enum class TraceAction : std::uint8_t { kContinue = 0, kTerminate = 1 };
+
+enum class ExecutionModel : std::uint8_t { kIndependent = 0, kWarpLockstep = 1 };
+
+struct TraceConfig {
+  ExecutionModel model = ExecutionModel::kIndependent;
+  /// Run the launch across threads. Disable for bit-exact cache-simulation
+  /// experiments (one shared memory hierarchy).
+  bool parallel = true;
+  /// Attach the cache simulator to node/primitive fetches (SIMT mode only;
+  /// adds overhead, meant for characterization runs).
+  bool simulate_caches = false;
+  CacheConfig l1{64 * 1024, 128, 4};
+  CacheConfig l2{4 * 1024 * 1024, 128, 16};
+  /// Collect LaunchStats counters. Disabling removes the accounting from
+  /// the hot loop for pure wall-clock runs.
+  bool collect_stats = true;
+};
+
+namespace detail {
+
+constexpr std::uint32_t kMaxStackDepth = 128;
+constexpr std::uint32_t kWarpSize = 32;
+// Pretend-device addresses for the cache simulator: BVH nodes and
+// primitive AABBs live in distinct regions with GPU-like strides.
+constexpr std::uint64_t kNodeStride = 64;
+constexpr std::uint64_t kPrimRegionBase = std::uint64_t{1} << 40;
+constexpr std::uint64_t kPrimStride = 32;
+
+/// Per-ray traversal state for the lockstep engine.
+struct LaneState {
+  std::uint32_t stack[kMaxStackDepth];
+  std::uint32_t sp = 0;
+  std::uint32_t ray_id = 0;
+  bool terminated = false;
+
+  bool active() const { return !terminated && sp > 0; }
+};
+
+template <typename Program>
+TraceAction process_leaf(const Bvh& bvh, const BvhNode& node, const Ray& ray,
+                         std::uint32_t ray_id, Program& program, LaunchStats* stats,
+                         MemoryHierarchy* mem) {
+  const auto prim_order = bvh.prim_order();
+  const auto prim_aabbs = bvh.prim_aabbs();
+  for (std::uint32_t s = node.first; s < node.first + node.count; ++s) {
+    const std::uint32_t prim = prim_order[s];
+    if (mem) mem->access(kPrimRegionBase + prim * kPrimStride);
+    if (stats) ++stats->aabb_tests;
+    if (!ray_intersects_aabb(ray, prim_aabbs[prim])) continue;
+    if (stats) ++stats->is_calls;
+    if (program.intersect(ray_id, prim) == TraceAction::kTerminate) {
+      return TraceAction::kTerminate;
+    }
+  }
+  return TraceAction::kContinue;
+}
+
+/// Classic single-ray stack traversal.
+template <typename Program>
+void trace_one(const Bvh& bvh, const Ray& ray, std::uint32_t ray_id, Program& program,
+               LaunchStats* stats) {
+  if (bvh.empty()) return;
+  std::uint32_t stack[kMaxStackDepth];
+  std::uint32_t sp = 0;
+  stack[sp++] = bvh.root();
+  const auto nodes = bvh.nodes();
+  while (sp > 0) {
+    const BvhNode& node = nodes[stack[--sp]];
+    if (stats) {
+      ++stats->node_visits;
+      ++stats->aabb_tests;
+    }
+    if (!ray_intersects_aabb(ray, node.bounds)) continue;
+    if (node.is_leaf()) {
+      if (process_leaf(bvh, node, ray, ray_id, program, stats, nullptr) ==
+          TraceAction::kTerminate) {
+        if (stats) ++stats->terminated_rays;
+        return;
+      }
+    } else {
+      RTNN_DCHECK(sp + 2 <= kMaxStackDepth, "traversal stack overflow");
+      stack[sp++] = node.left;
+      stack[sp++] = node.right;
+    }
+  }
+}
+
+/// Lockstep traversal of one warp of (up to 32) rays.
+template <typename Program>
+void trace_warp(const Bvh& bvh, std::span<const Ray> rays, std::uint32_t first_ray,
+                std::uint32_t lane_count, Program& program, LaunchStats& stats,
+                MemoryHierarchy* mem) {
+  LaneState lanes[kWarpSize];
+  for (std::uint32_t l = 0; l < lane_count; ++l) {
+    lanes[l].ray_id = first_ray + l;
+    lanes[l].stack[lanes[l].sp++] = bvh.root();
+  }
+  ++stats.warps;
+  const auto nodes = bvh.nodes();
+
+  for (;;) {
+    // Each active lane pops its next node; the warp then serializes over
+    // the set of distinct nodes popped this iteration.
+    std::uint32_t popped[kWarpSize];
+    std::uint32_t active_lanes[kWarpSize];
+    std::uint32_t n_active = 0;
+    for (std::uint32_t l = 0; l < lane_count; ++l) {
+      if (!lanes[l].active()) continue;
+      popped[n_active] = lanes[l].stack[--lanes[l].sp];
+      active_lanes[n_active] = l;
+      ++n_active;
+    }
+    if (n_active == 0) break;
+    ++stats.warp_iterations;
+
+    std::uint32_t done[kWarpSize] = {};  // lanes already handled this iteration
+    for (std::uint32_t i = 0; i < n_active; ++i) {
+      if (done[i]) continue;
+      const std::uint32_t node_id = popped[i];
+      // One serialized sub-step: every lane that wants this node executes
+      // together. Each lane issues its own node fetch — lanes sharing the
+      // line hit in cache, which is how coalescing shows up as the high
+      // hit rates of coherent warps (paper Figure 6).
+      ++stats.warp_substeps;
+      const BvhNode& node = nodes[node_id];
+      for (std::uint32_t j = i; j < n_active; ++j) {
+        if (done[j] || popped[j] != node_id) continue;
+        done[j] = 1;
+        ++stats.active_lane_slots;
+        if (mem) mem->access(node_id * kNodeStride);
+        LaneState& lane = lanes[active_lanes[j]];
+        ++stats.node_visits;
+        ++stats.aabb_tests;
+        const Ray& ray = rays[lane.ray_id];
+        if (!ray_intersects_aabb(ray, node.bounds)) continue;
+        if (node.is_leaf()) {
+          if (process_leaf(bvh, node, ray, lane.ray_id, program, &stats, mem) ==
+              TraceAction::kTerminate) {
+            lane.terminated = true;
+            ++stats.terminated_rays;
+          }
+        } else {
+          RTNN_DCHECK(lane.sp + 2 <= kMaxStackDepth, "traversal stack overflow");
+          lane.stack[lane.sp++] = node.left;
+          lane.stack[lane.sp++] = node.right;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace detail
+
+/// Launches `rays` against `bvh`, invoking `program.intersect(ray_id,
+/// prim_id)` per candidate primitive. The Program object must be safe to
+/// call concurrently for different ray_ids (each ray writes its own
+/// output slots, the same contract a CUDA kernel has).
+template <typename Program>
+LaunchStats trace(const Bvh& bvh, std::span<const Ray> rays, Program& program,
+                  const TraceConfig& config = {}) {
+  LaunchStats total;
+  total.rays = rays.size();
+  if (rays.empty() || bvh.empty()) return total;
+
+  std::mutex merge_mutex;
+  const auto n = static_cast<std::int64_t>(rays.size());
+
+  if (config.model == ExecutionModel::kIndependent) {
+    RTNN_CHECK(!config.simulate_caches,
+               "cache simulation requires the warp-lockstep execution model");
+    const std::int64_t grain = 512;
+    auto run_chunk = [&](std::int64_t lo, std::int64_t hi) {
+      LaunchStats local;
+      LaunchStats* stats = config.collect_stats ? &local : nullptr;
+      for (std::int64_t i = lo; i < hi; ++i) {
+        detail::trace_one(bvh, rays[static_cast<std::size_t>(i)],
+                          static_cast<std::uint32_t>(i), program, stats);
+      }
+      if (config.collect_stats) {
+        const std::lock_guard<std::mutex> lock(merge_mutex);
+        total += local;
+      }
+    };
+    if (config.parallel) {
+      parallel_for_chunks(0, n, run_chunk, grain);
+    } else {
+      run_chunk(0, n);
+    }
+    return total;
+  }
+
+  // Warp-lockstep model.
+  const std::int64_t n_warps =
+      (n + detail::kWarpSize - 1) / static_cast<std::int64_t>(detail::kWarpSize);
+  auto run_warps = [&](std::int64_t lo, std::int64_t hi) {
+    LaunchStats local;
+    std::optional<MemoryHierarchy> mem;
+    if (config.simulate_caches) mem.emplace(config.l1, config.l2);
+    for (std::int64_t w = lo; w < hi; ++w) {
+      const auto first = static_cast<std::uint32_t>(w * detail::kWarpSize);
+      const auto lanes = static_cast<std::uint32_t>(
+          std::min<std::int64_t>(detail::kWarpSize, n - first));
+      detail::trace_warp(bvh, rays, first, lanes, program, local,
+                         mem ? &*mem : nullptr);
+    }
+    if (mem) {
+      local.l1 = mem->l1_stats();
+      local.l2 = mem->l2_stats();
+    }
+    const std::lock_guard<std::mutex> lock(merge_mutex);
+    total += local;
+  };
+  if (config.parallel) {
+    parallel_for_chunks(0, n_warps, run_warps, 8);
+  } else {
+    run_warps(0, n_warps);
+  }
+  return total;
+}
+
+/// Convenience for tests: trace a single ray with stats.
+template <typename Program>
+LaunchStats trace_ray(const Bvh& bvh, const Ray& ray, Program& program) {
+  LaunchStats stats;
+  stats.rays = 1;
+  detail::trace_one(bvh, ray, 0, program, &stats);
+  return stats;
+}
+
+}  // namespace rtnn::rt

@@ -1,0 +1,80 @@
+// Analytic cost model and partition bundling (paper section 5.2 + Supp. A/C).
+//
+// Every partition pays one BVH build; bundling partitions saves builds but
+// inflates the merged partition's AABB (and therefore its search work).
+// The model:
+//
+//   T = Σ_i ( T_build^i + T_search^i )            (eq. 2)
+//   T_build  = k1 · M                             (eq. 3; M = #AABBs, linear — Fig. 15)
+//   T_search = k2 · N · ρ · S³        (KNN, eq. 4; N·ρ·S³ ≈ #IS calls)
+//   T_search = k3 · N · K             (range, Supp. A; k3 is cheaper when
+//                                      the sphere test is elided)
+//
+// Only the *ratios* of k1:k2:k3 matter for choosing a bundling; they are
+// obtained by offline profiling (calibrate()) — "absent the offline
+// profiling, we fall back to the default strategy" (no bundling), which
+// NeighborSearch honors when given an uncalibrated model.
+//
+// The optimal bundling (Supp. C theorem): with partitions sorted by query
+// count, the best plan with M_o bundles keeps the (M_o − 1) most-populous
+// partitions separate and merges the rest into one; scanning M_o = 1..M
+// finds the optimum in linear time.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/vec3.hpp"
+#include "rtnn/partitioner.hpp"
+#include "rtnn/types.hpp"
+
+namespace rtnn {
+
+struct CostModel {
+  // Per-event costs in seconds. Defaults measured on the reference CPU
+  // substrate by bench/micro_costmodel. Substrate note: on the real RT
+  // hardware the ratio k1:k2 is ~1:15000 (builds are cheap, IS calls run
+  // on the SMs); on the CPU substrate builds are *expensive* relative to
+  // IS calls, so bundling correctly merges more aggressively here.
+  double k1 = 1.5e-7;       // BVH build per AABB
+  double k2 = 6.0e-9;       // KNN IS call (sphere test + heap)
+  double k3_slow = 3.0e-8;  // range IS call with sphere test
+  double k3_fast = 6.0e-9;  // range IS call, sphere test elided
+  bool calibrated = false;
+
+  /// Offline profiling (paper: "obtained offline through profiling the BVH
+  /// construction time per AABB and the IS shader execution time per
+  /// call"). `sample_points` should be a few hundred thousand points drawn
+  /// from the target distribution.
+  static CostModel calibrate(std::span<const Vec3> sample_points, float radius,
+                             std::uint32_t k);
+};
+
+/// One launch unit after bundling: a set of partitions sharing one BVH.
+struct Bundle {
+  std::vector<std::uint32_t> partition_indices;
+  float aabb_width = 0.0f;      // max over members
+  bool skip_sphere_test = false;  // recomputed for the merged width
+  std::uint64_t query_count = 0;
+};
+
+struct BundlePlan {
+  std::vector<Bundle> bundles;
+  double predicted_seconds = 0.0;
+  std::uint32_t m_opt = 0;  // number of bundles chosen
+};
+
+/// The default strategy (Listing 3): one bundle per partition.
+BundlePlan unbundled_plan(const PartitionSet& set, const SearchParams& params);
+
+/// Cost-model-optimal bundling via the Supp. C linear scan.
+BundlePlan plan_bundles(const PartitionSet& set, std::size_t n_points,
+                        const SearchParams& params, const CostModel& model);
+
+/// Predicted cost of an arbitrary plan under the model (exposed for the
+/// Oracle ablation and for tests of the theorem).
+double predict_cost(const BundlePlan& plan, const PartitionSet& set, std::size_t n_points,
+                    const SearchParams& params, const CostModel& model);
+
+}  // namespace rtnn

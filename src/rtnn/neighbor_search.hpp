@@ -1,0 +1,106 @@
+// RTNN public API: neighbor search on the ray-tracing substrate.
+//
+// End-to-end flow (the paper's full system):
+//
+//   set_points()           — upload points to "device" memory   [Data]
+//   search():
+//     build global BVH (AABB width 2r)                          [BVH]
+//     scheduling:   first-hit cast (K=1)                        [FS]
+//                   Morton sort of queries                      [Opt]
+//     partitioning: megacell growth on a uniform grid,
+//                   bucket queries by megacell width            [Opt]
+//     bundling:     cost-model scan over partition bundlings    [Opt]
+//     per bundle:   build its BVH (width = bundle AABB width)   [BVH]
+//                   launch the range/KNN pipeline               [Search]
+//
+// With all optimizations disabled this degenerates to the naive mapping of
+// section 3 (also exposed as the FastRNN baseline).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/neighbor_result.hpp"
+#include "core/timing.hpp"
+#include "core/vec3.hpp"
+#include "optix/optix.hpp"
+#include "rtcore/launch_stats.hpp"
+#include "rtnn/cost_model.hpp"
+#include "rtnn/grid_index.hpp"
+#include "rtnn/types.hpp"
+
+namespace rtnn {
+
+class FlatKnnHeaps;
+
+class NeighborSearch {
+ public:
+  /// Everything the benches report about one search() call.
+  struct Report {
+    TimeBreakdown time;
+    rt::LaunchStats stats;           // actual-search launches, accumulated
+    rt::LaunchStats first_hit_stats; // the scheduling pre-pass
+    std::uint32_t num_partitions = 0;
+    std::uint32_t num_bundles = 0;
+    double predicted_bundle_cost = 0.0;
+  };
+
+  NeighborSearch() = default;
+
+  /// Uploads the search points (the Data phase). Invalidates prior accels.
+  void set_points(std::span<const Vec3> points);
+
+  /// Supplies a calibrated cost model for bundling decisions. Without one
+  /// the library falls back to the built-in defaults; pass an uncalibrated
+  /// model (calibrated == false) to force the paper's fallback of skipping
+  /// bundling.
+  void set_cost_model(const CostModel& model) { cost_model_ = model; }
+  const CostModel& cost_model() const { return cost_model_; }
+
+  std::size_t point_count() const { return points_.size(); }
+
+  /// Runs a neighbor search for `queries` under `params`.
+  NeighborResult search(std::span<const Vec3> queries, const SearchParams& params,
+                        Report* report = nullptr);
+
+  /// Runs a search with an externally chosen bundle plan (used by the
+  /// Oracle ablation of Figure 13, which exhaustively tries plans).
+  NeighborResult search_with_plan(std::span<const Vec3> queries, const SearchParams& params,
+                                  const PartitionSet& partitions, const BundlePlan& plan,
+                                  Report* report = nullptr);
+
+  /// Exposes the partitioning step so callers (benches, Oracle) can
+  /// inspect or re-plan it. `order` must be a permutation of query ids.
+  PartitionSet partition(std::span<const Vec3> queries,
+                         std::span<const std::uint32_t> order,
+                         const SearchParams& params) const;
+
+ private:
+  struct LaunchPlan {
+    // Per launch unit: query ids (already ordered), AABB width, flags.
+    struct Unit {
+      std::vector<std::uint32_t> query_ids;
+      float aabb_width = 0.0f;
+      bool skip_sphere_test = false;
+    };
+    std::vector<Unit> units;
+  };
+
+  ox::Accel build_accel_width(float aabb_width, TimeBreakdown& time) const;
+  void run_launch(const ox::Accel& accel, const LaunchPlan::Unit& unit,
+                  std::span<const Vec3> queries, const SearchParams& params,
+                  NeighborResult* range_result, FlatKnnHeaps* knn_heaps,
+                  Report& report) const;
+
+  std::vector<Vec3> points_;  // the "device" copy
+  CostModel cost_model_{};
+  mutable GridIndex grid_;    // rebuilt per point set, cached across searches
+  mutable bool grid_valid_ = false;
+};
+
+/// One-shot convenience wrapper.
+NeighborResult search(std::span<const Vec3> points, std::span<const Vec3> queries,
+                      const SearchParams& params, NeighborSearch::Report* report = nullptr);
+
+}  // namespace rtnn

@@ -1,0 +1,24 @@
+// Umbrella header: the full public API of the RTNN library.
+//
+//   #include "rtnn/rtnn.hpp"
+//
+//   rtnn::SearchParams params;
+//   params.mode = rtnn::SearchMode::kKnn;
+//   params.radius = 0.05f;
+//   params.k = 16;
+//   rtnn::NeighborSearch ns;
+//   ns.set_points(points);
+//   rtnn::NeighborResult result = ns.search(queries, params);
+//
+// See README.md for the architecture overview and examples/ for complete
+// programs.
+#pragma once
+
+#include "core/neighbor_result.hpp"
+#include "core/timing.hpp"
+#include "core/vec3.hpp"
+#include "rtnn/cost_model.hpp"
+#include "rtnn/neighbor_search.hpp"
+#include "rtnn/partitioner.hpp"
+#include "rtnn/scheduler.hpp"
+#include "rtnn/types.hpp"

@@ -1,0 +1,71 @@
+// Public configuration types of the RTNN library.
+#pragma once
+
+#include <cstdint>
+
+namespace rtnn {
+
+/// The two neighbor-search variants the paper optimizes (section 2.1).
+/// Both use the same bounded interface: a search radius and a maximum
+/// neighbor count K.
+enum class SearchMode : std::uint8_t {
+  kRange,  // all neighbors within r, up to K of them
+  kKnn,    // the K nearest neighbors, bounded by r
+};
+
+/// Which of the paper's optimizations to apply (the Figure 13 ablation
+/// axes). Defaults = the full RTNN configuration.
+struct OptimizationFlags {
+  /// Section 4: spatially-ordered query scheduling (first-hit AABB cast +
+  /// Morton sort of queries).
+  bool scheduling = true;
+  /// Section 5.1: query partitioning via megacells, one BVH per partition.
+  bool partitioning = true;
+  /// Section 5.2: cost-model-driven bundling of partitions. Only
+  /// meaningful when partitioning is on.
+  bool bundling = true;
+
+  static OptimizationFlags none() { return {false, false, false}; }
+  static OptimizationFlags scheduling_only() { return {true, false, false}; }
+  static OptimizationFlags no_bundling() { return {true, true, false}; }
+  static OptimizationFlags all() { return {true, true, true}; }
+};
+
+struct SearchParams {
+  SearchMode mode = SearchMode::kRange;
+  float radius = 1.0f;      // search radius r
+  std::uint32_t k = 16;     // maximum neighbor count K
+  OptimizationFlags opts{};
+
+  /// Store neighbor indices (true) or only per-query counts (false; saves
+  /// Q*K*4 bytes on the largest benchmark runs).
+  bool store_indices = true;
+
+  /// Megacell grid: maximum number of cells, the "smallest cell size
+  /// allowed by the GPU memory capacity" knob of section 5.1.
+  std::uint64_t max_grid_cells = std::uint64_t{1} << 21;
+
+  /// KNN partition AABB width: the paper's equi-volume heuristic
+  /// w = 2·cbrt(3/(4π))·a (default) or the conservative √3·a bound that
+  /// guarantees exactness (section 5.1, "Determining AABB Size").
+  bool conservative_knn_aabb = false;
+
+  /// Use the warp-lockstep SIMT execution model for launches (slower,
+  /// enables divergence/occupancy counters; characterization runs only).
+  bool simt_launches = false;
+
+  // --- Approximate search (paper section 8, "Approximate Neighbor
+  // Search") ---
+
+  /// Scales every AABB width below what exactness requires (< 1.0 =
+  /// approximate). "Using a smaller AABB would reduce the number of
+  /// neighbors returned but also provide performance gains."
+  float aabb_scale = 1.0f;
+
+  /// Elides Step 2 entirely, treating any query inside a point's AABB as
+  /// a neighbor. Range search only. Returned neighbors are then within
+  /// sqrt(3)*r of the query (the paper's quantitative error bound).
+  bool elide_sphere_test = false;
+};
+
+}  // namespace rtnn

@@ -1,0 +1,151 @@
+#include "core/aabb.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rtnn {
+namespace {
+
+TEST(Aabb, DefaultIsEmpty) {
+  const Aabb b;
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(b.surface_area(), 0.0f);
+  EXPECT_EQ(b.volume(), 0.0f);
+}
+
+TEST(Aabb, CubeFactory) {
+  // This is exactly how RTNN wraps a search point: center = point,
+  // width = 2 * radius (paper Listing 1).
+  const Aabb b = Aabb::cube({1.0f, 2.0f, 3.0f}, 2.0f);
+  EXPECT_EQ(b.lo, Vec3(0.0f, 1.0f, 2.0f));
+  EXPECT_EQ(b.hi, Vec3(2.0f, 3.0f, 4.0f));
+  EXPECT_EQ(b.center(), Vec3(1.0f, 2.0f, 3.0f));
+  EXPECT_EQ(b.extent(), Vec3(2.0f, 2.0f, 2.0f));
+}
+
+TEST(Aabb, GrowPoint) {
+  Aabb b;
+  b.grow({1.0f, 1.0f, 1.0f});
+  EXPECT_FALSE(b.empty());
+  EXPECT_EQ(b.lo, b.hi);
+  b.grow({-1.0f, 2.0f, 0.0f});
+  EXPECT_EQ(b.lo, Vec3(-1.0f, 1.0f, 0.0f));
+  EXPECT_EQ(b.hi, Vec3(1.0f, 2.0f, 1.0f));
+}
+
+TEST(Aabb, GrowEmptyIsIdentity) {
+  Aabb b = Aabb::cube({0.0f, 0.0f, 0.0f}, 1.0f);
+  const Aabb before = b;
+  b.grow(Aabb{});
+  EXPECT_EQ(b, before);
+}
+
+TEST(Aabb, ContainsPointInclusiveBounds) {
+  const Aabb b{{0.0f, 0.0f, 0.0f}, {1.0f, 1.0f, 1.0f}};
+  EXPECT_TRUE(b.contains(Vec3{0.5f, 0.5f, 0.5f}));
+  EXPECT_TRUE(b.contains(Vec3{0.0f, 0.0f, 0.0f}));  // faces included
+  EXPECT_TRUE(b.contains(Vec3{1.0f, 1.0f, 1.0f}));
+  EXPECT_FALSE(b.contains(Vec3{1.0001f, 0.5f, 0.5f}));
+}
+
+TEST(Aabb, ContainsAabbAndOverlaps) {
+  const Aabb outer{{0.0f, 0.0f, 0.0f}, {4.0f, 4.0f, 4.0f}};
+  const Aabb inner{{1.0f, 1.0f, 1.0f}, {2.0f, 2.0f, 2.0f}};
+  const Aabb crossing{{3.0f, 3.0f, 3.0f}, {5.0f, 5.0f, 5.0f}};
+  const Aabb outside{{5.0f, 5.0f, 5.0f}, {6.0f, 6.0f, 6.0f}};
+  EXPECT_TRUE(outer.contains(inner));
+  EXPECT_FALSE(inner.contains(outer));
+  EXPECT_TRUE(outer.overlaps(crossing));
+  EXPECT_FALSE(outer.overlaps(outside));
+  EXPECT_TRUE(outer.contains(Aabb{}));  // empty is contained everywhere
+}
+
+TEST(Aabb, SurfaceAreaVolume) {
+  const Aabb b{{0.0f, 0.0f, 0.0f}, {2.0f, 3.0f, 4.0f}};
+  EXPECT_FLOAT_EQ(b.surface_area(), 2.0f * (6.0f + 12.0f + 8.0f));
+  EXPECT_FLOAT_EQ(b.volume(), 24.0f);
+}
+
+TEST(Aabb, Expanded) {
+  const Aabb b = Aabb::cube({0.0f, 0.0f, 0.0f}, 2.0f).expanded(0.5f);
+  EXPECT_EQ(b.lo, Vec3(-1.5f, -1.5f, -1.5f));
+  EXPECT_EQ(b.hi, Vec3(1.5f, 1.5f, 1.5f));
+}
+
+TEST(Aabb, Normalized) {
+  const Aabb b{{0.0f, 0.0f, 0.0f}, {2.0f, 4.0f, 8.0f}};
+  const Vec3 n = b.normalized({1.0f, 1.0f, 2.0f});
+  EXPECT_FLOAT_EQ(n.x, 0.5f);
+  EXPECT_FLOAT_EQ(n.y, 0.25f);
+  EXPECT_FLOAT_EQ(n.z, 0.25f);
+}
+
+TEST(Aabb, Unite) {
+  const Aabb a = Aabb::cube({0.0f, 0.0f, 0.0f}, 1.0f);
+  const Aabb b = Aabb::cube({2.0f, 0.0f, 0.0f}, 1.0f);
+  const Aabb u = unite(a, b);
+  EXPECT_TRUE(u.contains(a));
+  EXPECT_TRUE(u.contains(b));
+  EXPECT_FLOAT_EQ(u.extent().x, 3.0f);
+}
+
+// --- Ray-AABB intersection: the two conditions of paper Figure 2 ---
+
+TEST(RayAabb, Condition1FaceHitWithinRange) {
+  // Ray pointed at the box from outside, t of the hit within [tmin, tmax].
+  const Aabb box = Aabb::cube({5.0f, 0.0f, 0.0f}, 2.0f);
+  const Ray ray{{0.0f, 0.0f, 0.0f}, {1.0f, 0.0f, 0.0f}, 0.0f, 10.0f};
+  EXPECT_TRUE(ray_intersects_aabb(ray, box));
+}
+
+TEST(RayAabb, Condition1MissWhenSegmentTooShort) {
+  // Same geometry, but tmax stops short of the box: no intersection.
+  const Aabb box = Aabb::cube({5.0f, 0.0f, 0.0f}, 2.0f);
+  const Ray ray{{0.0f, 0.0f, 0.0f}, {1.0f, 0.0f, 0.0f}, 0.0f, 3.0f};
+  EXPECT_FALSE(ray_intersects_aabb(ray, box));
+}
+
+TEST(RayAabb, Condition2OriginInsideAlwaysHits) {
+  // Paper: "when the origin of the ray is within the AABB, even if the
+  // intersected t value is beyond [tmin, tmax]". This is the condition
+  // RTNN's short rays rely on.
+  const Aabb box = Aabb::cube({0.0f, 0.0f, 0.0f}, 2.0f);
+  const Ray short_ray = Ray::short_ray({0.3f, -0.2f, 0.9f});
+  EXPECT_TRUE(ray_intersects_aabb(short_ray, box));
+}
+
+TEST(RayAabb, ShortRayOutsideBoxMisses) {
+  // The short-ray formulation must *not* intersect AABBs that don't
+  // contain the query — this is what eliminates the false positives of
+  // long rays (paper Figure 4c, query Q').
+  const Aabb box = Aabb::cube({5.0f, 0.0f, 0.0f}, 2.0f);
+  const Ray short_ray = Ray::short_ray({0.0f, 0.0f, 0.0f});
+  EXPECT_FALSE(ray_intersects_aabb(short_ray, box));
+}
+
+TEST(RayAabb, LongRayProducesFalsePositiveShortRayDoesNot) {
+  // Reproduces Figure 4c: Q' with a long ray passes the AABB test of P
+  // even though Q' is not in P's sphere; the short ray fails the AABB
+  // test, skipping the redundant Step 2.
+  const Vec3 p{5.0f, 0.0f, 0.0f};
+  const float radius = 1.0f;
+  const Aabb p_aabb = Aabb::cube(p, 2.0f * radius);
+  const Vec3 q_prime{2.0f, 0.4f, 0.0f};  // outside the sphere of radius 1
+  ASSERT_GT(distance2(q_prime, p), radius * radius);
+
+  const Ray long_ray{q_prime, {1.0f, 0.0f, 0.0f}, 0.0f, 100.0f};
+  const Ray short_ray = Ray::short_ray(q_prime);
+  EXPECT_TRUE(ray_intersects_aabb(long_ray, p_aabb));    // false positive
+  EXPECT_FALSE(ray_intersects_aabb(short_ray, p_aabb));  // eliminated
+}
+
+TEST(RayAabb, DegenerateDirectionComponentsHandled) {
+  // Direction with zero components (the RTNN direction is [1,0,0]).
+  const Aabb box{{-1.0f, -1.0f, -1.0f}, {1.0f, 1.0f, 1.0f}};
+  const Ray ray{{-5.0f, 0.0f, 0.0f}, {1.0f, 0.0f, 0.0f}, 0.0f, 100.0f};
+  EXPECT_TRUE(ray_intersects_aabb(ray, box));
+  const Ray miss{{-5.0f, 2.0f, 0.0f}, {1.0f, 0.0f, 0.0f}, 0.0f, 100.0f};
+  EXPECT_FALSE(ray_intersects_aabb(miss, box));
+}
+
+}  // namespace
+}  // namespace rtnn

@@ -1,0 +1,129 @@
+// Approximate neighbor search (paper section 8): shrunken AABBs and the
+// elided sphere test, with the paper's quantitative error bounds.
+#include <gtest/gtest.h>
+
+#include "baselines/brute_force.hpp"
+#include "datasets/point_cloud.hpp"
+#include "rtnn/rtnn.hpp"
+#include "test_util.hpp"
+
+namespace rtnn {
+namespace {
+
+using testing::CloudKind;
+
+struct ApproxFixture : ::testing::Test {
+  void SetUp() override {
+    points = testing::make_cloud(CloudKind::kUniform, 6000, 77);
+    queries = data::jittered_queries(points, 400, 0.01f, 78);
+    params.radius = 0.08f;
+    params.k = 16;
+    params.mode = SearchMode::kRange;
+    search.set_points(points);
+  }
+
+  std::vector<Vec3> points;
+  std::vector<Vec3> queries;
+  SearchParams params;
+  NeighborSearch search;
+};
+
+TEST_F(ApproxFixture, ElidedSphereTestRespectsSqrt3Bound) {
+  // "given a query range r all the returned neighbors are bound to be
+  // within a distance sqrt(3)*r of the query" (section 8).
+  params.elide_sphere_test = true;
+  params.opts = OptimizationFlags::none();
+  const auto got = search.search(queries, params);
+  const float bound = params.radius * 1.7320508f * (1.0f + 1e-5f);
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    for (const std::uint32_t p : got.neighbors(q)) {
+      EXPECT_LE(distance(points[p], queries[q]), bound);
+    }
+  }
+}
+
+TEST_F(ApproxFixture, ElidedSphereTestIsASuperset) {
+  // Every exact within-r neighbor is still reported (eliding the test can
+  // only add candidates), as long as K does not truncate.
+  params.k = 256;
+  params.opts = OptimizationFlags::none();
+  const auto exact = search.search(queries, params);
+  params.elide_sphere_test = true;
+  const auto approx = search.search(queries, params);
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    EXPECT_GE(approx.count(q), exact.count(q));
+  }
+}
+
+TEST_F(ApproxFixture, ElidedSphereTestReducesWork) {
+  params.opts = OptimizationFlags::none();
+  NeighborSearch::Report exact_report;
+  search.search(queries, params, &exact_report);
+  params.elide_sphere_test = true;
+  NeighborSearch::Report approx_report;
+  search.search(queries, params, &approx_report);
+  // Same IS call count (the AABB tests are identical) but rays terminate
+  // earlier because every IS call records a neighbor.
+  EXPECT_LE(approx_report.stats.node_visits, exact_report.stats.node_visits);
+}
+
+TEST_F(ApproxFixture, ShrunkenAabbsNeverReturnInvalidNeighbors) {
+  // aabb_scale trades recall, never precision: everything returned is a
+  // true within-r neighbor.
+  for (const float scale : {0.9f, 0.6f, 0.3f}) {
+    params.aabb_scale = scale;
+    const auto got = search.search(queries, params);
+    testing::expect_all_within_radius(points, queries, got, params.radius, "approx");
+  }
+}
+
+TEST_F(ApproxFixture, RecallDegradesMonotonicallyWithScale) {
+  params.k = 256;
+  const auto exact = baselines::brute_force_range(points, queries, params.radius, 256);
+  std::uint64_t exact_total = 0;
+  for (std::size_t q = 0; q < queries.size(); ++q) exact_total += exact.count(q);
+
+  std::uint64_t previous = exact_total;
+  for (const float scale : {1.0f, 0.7f, 0.4f}) {
+    params.aabb_scale = scale;
+    const auto got = search.search(queries, params);
+    std::uint64_t total = 0;
+    for (std::size_t q = 0; q < queries.size(); ++q) total += got.count(q);
+    EXPECT_LE(total, previous * 101 / 100);  // monotone (1% slack for caps)
+    previous = total;
+  }
+  // Full scale recovers (nearly) everything; tiny scale loses a lot.
+  EXPECT_LT(previous, exact_total);
+}
+
+TEST_F(ApproxFixture, ShrunkenAabbsReduceIsCalls) {
+  params.k = 256;
+  NeighborSearch::Report full_report;
+  params.aabb_scale = 1.0f;
+  search.search(queries, params, &full_report);
+  NeighborSearch::Report small_report;
+  params.aabb_scale = 0.4f;
+  search.search(queries, params, &small_report);
+  EXPECT_LT(small_report.stats.is_calls, full_report.stats.is_calls);
+}
+
+TEST_F(ApproxFixture, KnnWithShrunkenAabbsStillValid) {
+  params.mode = SearchMode::kKnn;
+  params.aabb_scale = 0.7f;
+  const auto got = search.search(queries, params);
+  testing::expect_all_within_radius(points, queries, got, params.radius, "approx-knn");
+}
+
+TEST_F(ApproxFixture, InvalidApproxParamsRejected) {
+  params.aabb_scale = 0.0f;
+  EXPECT_THROW(search.search(queries, params), Error);
+  params.aabb_scale = 1.5f;
+  EXPECT_THROW(search.search(queries, params), Error);
+  params.aabb_scale = 1.0f;
+  params.mode = SearchMode::kKnn;
+  params.elide_sphere_test = true;
+  EXPECT_THROW(search.search(queries, params), Error);
+}
+
+}  // namespace
+}  // namespace rtnn

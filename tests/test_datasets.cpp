@@ -1,0 +1,216 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "core/error.hpp"
+
+#include "datasets/io.hpp"
+#include "datasets/lidar.hpp"
+#include "datasets/nbody.hpp"
+#include "datasets/point_cloud.hpp"
+#include "datasets/surface.hpp"
+#include "datasets/uniform.hpp"
+
+namespace rtnn::data {
+namespace {
+
+TEST(Datasets, LidarReachesTargetAndIsDeterministic) {
+  LidarParams params;
+  params.target_points = 50'000;
+  const PointCloud a = lidar_scan(params);
+  const PointCloud b = lidar_scan(params);
+  EXPECT_EQ(a.size(), 50'000u);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Datasets, LidarHasThinVerticalExtent) {
+  // The KITTI-like property the paper calls out: "mostly distributed in
+  // the xy-plane ... confined in a very narrow z-range".
+  LidarParams params;
+  params.target_points = 80'000;
+  const PointCloud cloud = lidar_scan(params);
+  const Aabb box = bounds(cloud);
+  const Vec3 e = box.extent();
+  EXPECT_LT(e.z, 0.25f * std::min(e.x, e.y));
+}
+
+TEST(Datasets, LidarPointsNearOrAboveGround) {
+  LidarParams params;
+  params.target_points = 30'000;
+  const PointCloud cloud = lidar_scan(params);
+  for (const Vec3& p : cloud) {
+    EXPECT_GT(p.z, -1.0f);   // range noise can dip slightly below 0
+    EXPECT_LT(p.z, 20.0f);   // nothing taller than the buildings
+  }
+}
+
+TEST(Datasets, SurfaceModelsNormalizedToUnitCube) {
+  for (const SurfaceModel model :
+       {SurfaceModel::kBunny, SurfaceModel::kDragon, SurfaceModel::kBuddha}) {
+    SurfaceParams params;
+    params.model = model;
+    params.target_points = 20'000;
+    const PointCloud cloud = surface_scan(params);
+    EXPECT_EQ(cloud.size(), 20'000u);
+    const Aabb box = bounds(cloud);
+    EXPECT_GE(box.lo.x, -0.001f);
+    EXPECT_LE(box.hi.x, 1.001f);
+    EXPECT_GE(box.lo.z, -0.001f);
+    EXPECT_LE(box.hi.z, 1.001f);
+  }
+}
+
+TEST(Datasets, SurfaceIsAHollowShell) {
+  // Scan points live on a 2D manifold: the cloud's center region should be
+  // nearly empty (unlike a volumetric distribution).
+  SurfaceParams params;
+  params.target_points = 50'000;
+  const PointCloud cloud = surface_scan(params);
+  const Aabb box = bounds(cloud);
+  const Vec3 c = box.center();
+  const float r = 0.1f * max_component(box.extent());
+  std::size_t central = 0;
+  for (const Vec3& p : cloud) {
+    if (distance2(p, c) < r * r) ++central;
+  }
+  EXPECT_LT(central, cloud.size() / 100);
+}
+
+TEST(Datasets, NBodyIsStronglyClustered) {
+  // Compare cell-occupancy variance against a uniform cloud of the same
+  // size: the Soneira–Peebles process must be far more clumped (this is
+  // the property that stresses RTNN's partitioning).
+  NBodyParams params;
+  params.target_points = 100'000;
+  const PointCloud clustered = nbody_cluster(params);
+  EXPECT_EQ(clustered.size(), 100'000u);
+  const Aabb box = bounds(clustered);
+  const PointCloud uniform = uniform_box(clustered.size(), box, 3);
+
+  auto occupancy_variance = [&](const PointCloud& cloud) {
+    constexpr int kRes = 16;
+    std::vector<double> counts(kRes * kRes * kRes, 0.0);
+    for (const Vec3& p : cloud) {
+      const Vec3 n = box.normalized(p);
+      const int x = std::min(kRes - 1, static_cast<int>(n.x * kRes));
+      const int y = std::min(kRes - 1, static_cast<int>(n.y * kRes));
+      const int z = std::min(kRes - 1, static_cast<int>(n.z * kRes));
+      counts[(z * kRes + y) * kRes + x] += 1.0;
+    }
+    const double mean = static_cast<double>(cloud.size()) / counts.size();
+    double var = 0.0;
+    for (const double c : counts) var += (c - mean) * (c - mean);
+    return var / static_cast<double>(counts.size());
+  };
+  EXPECT_GT(occupancy_variance(clustered), 20.0 * occupancy_variance(uniform));
+}
+
+TEST(Datasets, NBodyDeterministic) {
+  NBodyParams params;
+  params.target_points = 10'000;
+  EXPECT_EQ(nbody_cluster(params), nbody_cluster(params));
+}
+
+TEST(Datasets, UniformBoxStaysInBox) {
+  const Aabb box{{-1, -2, -3}, {4, 5, 6}};
+  const PointCloud cloud = uniform_box(5'000, box, 7);
+  EXPECT_EQ(cloud.size(), 5'000u);
+  for (const Vec3& p : cloud) {
+    EXPECT_TRUE(box.contains(p));
+  }
+}
+
+TEST(Datasets, GridQueriesRasterOrderIsCoherent) {
+  GridQueryParams params;
+  params.resolution = 8;
+  params.queries_per_cell = 2;
+  const PointCloud queries = grid_queries_raster(params);
+  EXPECT_EQ(queries.size(), 8u * 8u * 8u * 2u);
+  // Raster order: consecutive queries are spatially close on average,
+  // much closer than random pairs.
+  double adjacent = 0.0;
+  for (std::size_t i = 1; i < queries.size(); ++i) {
+    adjacent += distance(queries[i - 1], queries[i]);
+  }
+  adjacent /= static_cast<double>(queries.size() - 1);
+  PointCloud shuffled = queries;
+  shuffle(shuffled, 1);
+  double random_adjacent = 0.0;
+  for (std::size_t i = 1; i < shuffled.size(); ++i) {
+    random_adjacent += distance(shuffled[i - 1], shuffled[i]);
+  }
+  random_adjacent /= static_cast<double>(shuffled.size() - 1);
+  EXPECT_LT(adjacent, 0.5 * random_adjacent);
+}
+
+TEST(Datasets, SubsampleAndShuffle) {
+  const PointCloud cloud = uniform_box(1'000, {{0, 0, 0}, {1, 1, 1}}, 9);
+  const PointCloud sub = subsample(cloud, 100, 1);
+  EXPECT_EQ(sub.size(), 100u);
+  // Subsample draws from the original cloud.
+  for (const Vec3& p : sub) {
+    EXPECT_NE(std::find(cloud.begin(), cloud.end(), p), cloud.end());
+  }
+  PointCloud copy = cloud;
+  shuffle(copy, 2);
+  EXPECT_NE(copy, cloud);
+  auto sorted_a = cloud, sorted_b = copy;
+  auto lt = [](const Vec3& a, const Vec3& b) {
+    return a.x != b.x ? a.x < b.x : (a.y != b.y ? a.y < b.y : a.z < b.z);
+  };
+  std::sort(sorted_a.begin(), sorted_a.end(), lt);
+  std::sort(sorted_b.begin(), sorted_b.end(), lt);
+  EXPECT_EQ(sorted_a, sorted_b);  // same multiset
+}
+
+TEST(Datasets, FitToRescalesIntoTarget) {
+  PointCloud cloud = uniform_box(500, {{-10, -10, -10}, {30, 10, 10}}, 11);
+  const Aabb target{{0, 0, 0}, {1, 1, 1}};
+  fit_to(cloud, target);
+  const Aabb box = bounds(cloud);
+  EXPECT_GE(box.lo.x, -0.001f);
+  EXPECT_LE(box.hi.x, 1.001f);
+}
+
+TEST(Datasets, JitteredQueriesNearData) {
+  const PointCloud cloud = uniform_box(1'000, {{0, 0, 0}, {1, 1, 1}}, 13);
+  const PointCloud queries = jittered_queries(cloud, 200, 0.01f, 17);
+  EXPECT_EQ(queries.size(), 200u);
+  const Aabb box = bounds(cloud).expanded(0.1f);
+  for (const Vec3& q : queries) {
+    EXPECT_TRUE(box.contains(q));
+  }
+}
+
+TEST(Datasets, XyzRoundtrip) {
+  const PointCloud cloud = uniform_box(100, {{0, 0, 0}, {1, 1, 1}}, 19);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "rtnn_test_cloud.xyz").string();
+  write_xyz(path, cloud);
+  const PointCloud loaded = read_xyz(path);
+  ASSERT_EQ(loaded.size(), cloud.size());
+  for (std::size_t i = 0; i < cloud.size(); ++i) {
+    EXPECT_NEAR(loaded[i].x, cloud[i].x, 1e-4f);
+    EXPECT_NEAR(loaded[i].y, cloud[i].y, 1e-4f);
+    EXPECT_NEAR(loaded[i].z, cloud[i].z, 1e-4f);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Datasets, XyzRejectsMissingFileAndBadLines) {
+  EXPECT_THROW(read_xyz("/nonexistent/path/cloud.xyz"), Error);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "rtnn_bad.xyz").string();
+  {
+    std::ofstream out(path);
+    out << "1.0 2.0\n";  // only two coords
+  }
+  EXPECT_THROW(read_xyz(path), Error);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace rtnn::data

@@ -1,0 +1,128 @@
+#include "rtnn/grid_index.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/error.hpp"
+#include "core/rng.hpp"
+
+namespace rtnn {
+namespace {
+
+std::vector<Vec3> random_points(std::size_t n, std::uint64_t seed,
+                                const Aabb& box = {{0, 0, 0}, {1, 1, 1}}) {
+  Pcg32 rng(seed);
+  std::vector<Vec3> points(n);
+  for (auto& p : points) p = rng.uniform_in_aabb(box);
+  return points;
+}
+
+// Direct per-point count of how many fall in the cell box [lo, hi].
+std::uint64_t direct_count(const GridIndex& grid, const std::vector<Vec3>& points,
+                           Int3 lo, Int3 hi) {
+  std::uint64_t count = 0;
+  for (const Vec3& p : points) {
+    const Int3 c = grid.cell_of(p);
+    if (c.x >= lo.x && c.x <= hi.x && c.y >= lo.y && c.y <= hi.y && c.z >= lo.z &&
+        c.z <= hi.z) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+TEST(GridIndex, TotalMatchesPointCount) {
+  const auto points = random_points(5'000, 1);
+  GridIndex grid;
+  grid.build(points, 1 << 15);
+  EXPECT_EQ(grid.total(), points.size());
+}
+
+TEST(GridIndex, ResolutionRespectsMaxCells) {
+  const auto points = random_points(1'000, 2);
+  for (const std::uint64_t max_cells : {64ull, 4096ull, 1ull << 18}) {
+    GridIndex grid;
+    grid.build(points, max_cells);
+    const Int3 r = grid.resolution();
+    EXPECT_LE(static_cast<std::uint64_t>(r.x) * r.y * r.z, max_cells);
+  }
+}
+
+TEST(GridIndex, SatMatchesDirectCountsOnRandomBoxes) {
+  const auto points = random_points(20'000, 3);
+  GridIndex grid;
+  grid.build(points, 1 << 15);
+  const Int3 res = grid.resolution();
+  Pcg32 rng(33);
+  for (int trial = 0; trial < 200; ++trial) {
+    Int3 lo{static_cast<int>(rng.next_bounded(res.x)),
+            static_cast<int>(rng.next_bounded(res.y)),
+            static_cast<int>(rng.next_bounded(res.z))};
+    Int3 hi{lo.x + static_cast<int>(rng.next_bounded(res.x - lo.x)),
+            lo.y + static_cast<int>(rng.next_bounded(res.y - lo.y)),
+            lo.z + static_cast<int>(rng.next_bounded(res.z - lo.z))};
+    EXPECT_EQ(grid.count_in_box(lo, hi), direct_count(grid, points, lo, hi));
+  }
+}
+
+TEST(GridIndex, FullBoxEqualsTotal) {
+  const auto points = random_points(3'000, 4);
+  GridIndex grid;
+  grid.build(points, 1 << 12);
+  const Int3 res = grid.resolution();
+  EXPECT_EQ(grid.count_in_box({0, 0, 0}, {res.x - 1, res.y - 1, res.z - 1}),
+            points.size());
+}
+
+TEST(GridIndex, OutOfRangeBoxesClampOrVanish) {
+  const auto points = random_points(1'000, 5);
+  GridIndex grid;
+  grid.build(points, 1 << 12);
+  const Int3 res = grid.resolution();
+  // Clamping: an oversized box equals the full grid.
+  EXPECT_EQ(grid.count_in_box({-10, -10, -10}, {res.x + 10, res.y + 10, res.z + 10}),
+            points.size());
+  // Fully outside: zero.
+  EXPECT_EQ(grid.count_in_box({res.x, 0, 0}, {res.x + 5, 5, 5}), 0u);
+  // Inverted after clamp: zero.
+  EXPECT_EQ(grid.count_in_box({5, 5, 5}, {2, 2, 2}), 0u);
+}
+
+TEST(GridIndex, CellOfClampsOutOfBoundsPoints) {
+  const auto points = random_points(100, 6);
+  GridIndex grid;
+  grid.build(points, 1 << 12);
+  const Int3 c = grid.cell_of({-100.0f, 0.5f, 200.0f});
+  EXPECT_EQ(c.x, 0);
+  EXPECT_EQ(c.z, grid.resolution().z - 1);
+}
+
+TEST(GridIndex, AnisotropicCloudGetsAnisotropicResolution) {
+  // LiDAR-like thin-z cloud: z resolution should be far smaller than x/y
+  // since cells are cubic.
+  const auto points = random_points(5'000, 7, {{0, 0, 0}, {100, 100, 2}});
+  GridIndex grid;
+  grid.build(points, 1 << 15);
+  const Int3 r = grid.resolution();
+  EXPECT_LT(r.z, r.x / 4);
+}
+
+TEST(GridIndex, RejectsDegenerateInput) {
+  GridIndex grid;
+  EXPECT_THROW(grid.build({}, 1 << 12), Error);
+  const auto points = random_points(10, 8);
+  EXPECT_THROW(grid.build(points, 4), Error);
+}
+
+TEST(GridIndex, SinglePointCloud) {
+  const std::vector<Vec3> points{{0.5f, 0.5f, 0.5f}};
+  GridIndex grid;
+  grid.build(points, 1 << 12);
+  EXPECT_EQ(grid.total(), 1u);
+  const Int3 c = grid.cell_of(points[0]);
+  EXPECT_EQ(grid.count_in_box(c, c), 1u);
+}
+
+}  // namespace
+}  // namespace rtnn

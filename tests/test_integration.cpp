@@ -1,0 +1,217 @@
+// Cross-module integration tests: the full RTNN system against every
+// baseline on every dataset family, plus end-to-end properties the paper's
+// evaluation relies on (speedup mechanisms, ablation orderings, oracle
+// search machinery).
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "baselines/brute_force.hpp"
+#include "baselines/fastrnn.hpp"
+#include "baselines/grid_knn.hpp"
+#include "baselines/grid_search.hpp"
+#include "baselines/octree.hpp"
+#include "datasets/point_cloud.hpp"
+#include "rtnn/rtnn.hpp"
+#include "test_util.hpp"
+
+namespace rtnn {
+namespace {
+
+using testing::CloudKind;
+
+class FullSystem : public ::testing::TestWithParam<CloudKind> {
+ protected:
+  void SetUp() override {
+    kind_ = GetParam();
+    points_ = testing::make_cloud(kind_, 10'000, 101);
+    queries_ = data::jittered_queries(points_, 500, testing::typical_radius(kind_) * 0.2f,
+                                      102);
+    radius_ = testing::typical_radius(kind_);
+    k_ = 8;
+  }
+
+  CloudKind kind_{};
+  std::vector<Vec3> points_;
+  std::vector<Vec3> queries_;
+  float radius_ = 0.0f;
+  std::uint32_t k_ = 8;
+};
+
+TEST_P(FullSystem, AllKnnImplementationsAgree) {
+  const auto expected = baselines::brute_force_knn(points_, queries_, radius_, k_);
+
+  baselines::GridKnn grid;
+  grid.build(points_, radius_);
+  testing::expect_knn_distances_match(points_, queries_, grid.search(queries_, k_),
+                                      expected, "grid");
+
+  baselines::Octree octree;
+  octree.build(points_);
+  testing::expect_knn_distances_match(points_, queries_,
+                                      octree.knn_search(queries_, radius_, k_), expected,
+                                      "octree");
+
+  baselines::FastRnn fastrnn;
+  fastrnn.build(points_);
+  testing::expect_knn_distances_match(points_, queries_,
+                                      fastrnn.knn_search(queries_, radius_, k_), expected,
+                                      "fastrnn");
+
+  SearchParams params;
+  params.mode = SearchMode::kKnn;
+  params.radius = radius_;
+  params.k = k_;
+  params.conservative_knn_aabb = true;
+  NeighborSearch rtnn_search;
+  rtnn_search.set_points(points_);
+  testing::expect_knn_distances_match(points_, queries_,
+                                      rtnn_search.search(queries_, params), expected,
+                                      "rtnn");
+}
+
+TEST_P(FullSystem, AllRangeImplementationsAgreeOnCounts) {
+  const auto expected = baselines::brute_force_range(points_, queries_, radius_, k_);
+
+  baselines::GridRangeSearch grid;
+  grid.build(points_, radius_);
+  testing::expect_counts_equal(grid.search(queries_, k_), expected, "grid");
+
+  baselines::Octree octree;
+  octree.build(points_);
+  testing::expect_counts_equal(octree.range_search(queries_, radius_, k_), expected,
+                               "octree");
+
+  SearchParams params;
+  params.mode = SearchMode::kRange;
+  params.radius = radius_;
+  params.k = k_;
+  params.opts = OptimizationFlags::scheduling_only();  // exact configuration
+  NeighborSearch rtnn_search;
+  rtnn_search.set_points(points_);
+  testing::expect_counts_equal(rtnn_search.search(queries_, params), expected, "rtnn");
+}
+
+TEST_P(FullSystem, SchedulingReducesSimtDivergence) {
+  // Mechanism check on the real pipeline: with SIMT launches, scheduling
+  // must improve warp occupancy over the shuffled input order.
+  auto shuffled = queries_;
+  data::shuffle(shuffled, 103);
+  SearchParams params;
+  params.mode = SearchMode::kRange;
+  params.radius = radius_;
+  params.k = k_;
+  params.simt_launches = true;
+  params.opts = OptimizationFlags::none();
+  NeighborSearch search;
+  search.set_points(points_);
+  NeighborSearch::Report unsched;
+  search.search(shuffled, params, &unsched);
+  params.opts = OptimizationFlags::scheduling_only();
+  NeighborSearch::Report sched;
+  search.search(shuffled, params, &sched);
+  EXPECT_GT(sched.stats.occupancy(), unsched.stats.occupancy());
+  EXPECT_LT(sched.stats.warp_substeps, unsched.stats.warp_substeps);
+}
+
+TEST_P(FullSystem, PartitioningReducesIsCalls) {
+  // The whole point of section 5: smaller per-partition AABBs suppress
+  // IS-shader work for KNN.
+  SearchParams params;
+  params.mode = SearchMode::kKnn;
+  params.radius = radius_ * 2.0f;  // generous radius so partitioning has room
+  params.k = k_;
+  NeighborSearch search;
+  search.set_points(points_);
+
+  params.opts = OptimizationFlags::scheduling_only();
+  NeighborSearch::Report unpart;
+  search.search(queries_, params, &unpart);
+
+  params.opts = OptimizationFlags::no_bundling();
+  NeighborSearch::Report part;
+  search.search(queries_, params, &part);
+
+  EXPECT_LT(part.stats.is_calls, unpart.stats.is_calls);
+}
+
+INSTANTIATE_TEST_SUITE_P(Clouds, FullSystem,
+                         ::testing::Values(CloudKind::kUniform, CloudKind::kLidar,
+                                           CloudKind::kSurface, CloudKind::kNBody),
+                         [](const ::testing::TestParamInfo<CloudKind>& info) {
+                           return testing::to_string(info.param);
+                         });
+
+TEST(OracleMachinery, SearchWithExplicitPlanMatchesDefault) {
+  // search_with_plan() is the Oracle's entry point: running the default
+  // plan through it must reproduce search()'s results.
+  const auto points = testing::make_cloud(CloudKind::kUniform, 6000, 201);
+  const auto queries = data::jittered_queries(points, 400, 0.01f, 202);
+  SearchParams params;
+  params.mode = SearchMode::kKnn;
+  params.radius = 0.1f;
+  params.k = 8;
+  params.opts = OptimizationFlags::no_bundling();
+  NeighborSearch search;
+  search.set_points(points);
+  const auto via_search = search.search(queries, params);
+
+  std::vector<std::uint32_t> order(queries.size());
+  std::iota(order.begin(), order.end(), 0u);
+  const PartitionSet parts = search.partition(queries, order, params);
+  const BundlePlan plan = unbundled_plan(parts, params);
+  const auto via_plan = search.search_with_plan(queries, params, parts, plan);
+  testing::expect_knn_distances_match(points, queries, via_plan, via_search, "oracle");
+}
+
+TEST(OracleMachinery, SingleBundlePlanStillCorrect) {
+  // Merging everything into one bundle = monolithic BVH with the largest
+  // partition width; results must stay valid.
+  const auto points = testing::make_cloud(CloudKind::kNBody, 6000, 203);
+  const auto queries = data::jittered_queries(points, 300, 0.05f, 204);
+  SearchParams params;
+  params.mode = SearchMode::kKnn;
+  params.radius = 1.0f;
+  params.k = 8;
+  NeighborSearch search;
+  search.set_points(points);
+  std::vector<std::uint32_t> order(queries.size());
+  std::iota(order.begin(), order.end(), 0u);
+  const PartitionSet parts = search.partition(queries, order, params);
+  // Build the all-in-one plan.
+  CostModel model;
+  model.k1 = 1.0;
+  model.k2 = 1e-15;
+  model.calibrated = true;
+  const BundlePlan plan = plan_bundles(parts, points.size(), params, model);
+  ASSERT_EQ(plan.bundles.size(), 1u);
+  const auto got = search.search_with_plan(queries, params, parts, plan);
+  const auto expected = baselines::brute_force_knn(points, queries, 1.0f, 8);
+  std::uint64_t got_total = 0, exp_total = 0;
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    got_total += got.count(q);
+    exp_total += expected.count(q);
+  }
+  EXPECT_GE(got_total * 100, exp_total * 99);
+}
+
+TEST(EndToEnd, LargeUniformSelfQueryStress) {
+  // Self-neighborhood query on a bigger cloud exercises parallel paths.
+  const auto points = testing::make_cloud(CloudKind::kUniform, 50'000, 301);
+  SearchParams params;
+  params.mode = SearchMode::kKnn;
+  params.radius = 0.03f;
+  params.k = 8;
+  NeighborSearch search;
+  search.set_points(points);
+  const auto result = search.search(points, params);
+  // Every point finds itself (distance 0) plus neighbors.
+  std::size_t with_self = 0;
+  for (std::size_t q = 0; q < points.size(); ++q) {
+    if (result.count(q) > 0) ++with_self;
+  }
+  EXPECT_EQ(with_self, points.size());
+}
+
+}  // namespace
+}  // namespace rtnn

@@ -1,0 +1,151 @@
+#include "core/knn_heap.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/flat_knn.hpp"
+#include "core/neighbor_result.hpp"
+#include "core/rng.hpp"
+
+namespace rtnn {
+namespace {
+
+TEST(KnnHeap, KeepsKSmallest) {
+  KnnHeap heap(3);
+  for (float d : {9.0f, 1.0f, 5.0f, 3.0f, 7.0f, 2.0f}) {
+    heap.push(d, static_cast<std::uint32_t>(d));
+  }
+  EXPECT_TRUE(heap.full());
+  auto sorted = heap.extract_sorted();
+  ASSERT_EQ(sorted.size(), 3u);
+  EXPECT_FLOAT_EQ(sorted[0].dist2, 1.0f);
+  EXPECT_FLOAT_EQ(sorted[1].dist2, 2.0f);
+  EXPECT_FLOAT_EQ(sorted[2].dist2, 3.0f);
+}
+
+TEST(KnnHeap, WorstDistIsInfinityUntilFull) {
+  KnnHeap heap(2);
+  EXPECT_EQ(heap.worst_dist2(), std::numeric_limits<float>::infinity());
+  heap.push(1.0f, 0);
+  EXPECT_EQ(heap.worst_dist2(), std::numeric_limits<float>::infinity());
+  heap.push(2.0f, 1);
+  EXPECT_FLOAT_EQ(heap.worst_dist2(), 2.0f);
+}
+
+TEST(KnnHeap, RejectsWorseThanCurrentWorst) {
+  KnnHeap heap(2);
+  heap.push(1.0f, 0);
+  heap.push(2.0f, 1);
+  EXPECT_FALSE(heap.push(3.0f, 2));
+  EXPECT_TRUE(heap.push(0.5f, 3));
+  EXPECT_FLOAT_EQ(heap.worst_dist2(), 1.0f);
+}
+
+TEST(KnnHeap, MatchesPartialSortOnRandomData) {
+  Pcg32 rng(99);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::uint32_t k = 1 + rng.next_bounded(16);
+    const std::size_t n = 1 + rng.next_bounded(500);
+    std::vector<float> dists(n);
+    for (auto& d : dists) d = rng.next_float();
+
+    KnnHeap heap(k);
+    for (std::size_t i = 0; i < n; ++i) {
+      heap.push(dists[i], static_cast<std::uint32_t>(i));
+    }
+    auto sorted_dists = dists;
+    std::sort(sorted_dists.begin(), sorted_dists.end());
+    const auto result = heap.extract_sorted();
+    ASSERT_EQ(result.size(), std::min<std::size_t>(k, n));
+    for (std::size_t i = 0; i < result.size(); ++i) {
+      EXPECT_FLOAT_EQ(result[i].dist2, sorted_dists[i]);
+    }
+  }
+}
+
+TEST(KnnHeap, ClearResets) {
+  KnnHeap heap(2);
+  heap.push(1.0f, 0);
+  heap.clear();
+  EXPECT_TRUE(heap.empty());
+  EXPECT_EQ(heap.worst_dist2(), std::numeric_limits<float>::infinity());
+}
+
+TEST(KnnHeap, RejectsZeroK) {
+  EXPECT_THROW(KnnHeap(0), Error);
+}
+
+TEST(FlatKnnHeaps, IndependentRows) {
+  FlatKnnHeaps heaps(3, 2);
+  heaps.push(0, 1.0f, 10);
+  heaps.push(1, 5.0f, 20);
+  heaps.push(1, 2.0f, 21);
+  heaps.push(1, 1.0f, 22);  // evicts 5.0
+  EXPECT_EQ(heaps.size(0), 1u);
+  EXPECT_EQ(heaps.size(1), 2u);
+  EXPECT_EQ(heaps.size(2), 0u);
+  EXPECT_FLOAT_EQ(heaps.worst_dist2(1), 2.0f);
+}
+
+TEST(FlatKnnHeaps, ExtractSortsAscending) {
+  FlatKnnHeaps heaps(1, 4);
+  heaps.push(0, 4.0f, 4);
+  heaps.push(0, 1.0f, 1);
+  heaps.push(0, 3.0f, 3);
+  heaps.push(0, 2.0f, 2);
+  NeighborResult result = heaps.extract();
+  const auto row = result.neighbors(0);
+  ASSERT_EQ(row.size(), 4u);
+  EXPECT_EQ(row[0], 1u);
+  EXPECT_EQ(row[1], 2u);
+  EXPECT_EQ(row[2], 3u);
+  EXPECT_EQ(row[3], 4u);
+}
+
+TEST(FlatKnnHeaps, MatchesKnnHeapOnRandomData) {
+  Pcg32 rng(1234);
+  const std::size_t queries = 50;
+  const std::uint32_t k = 8;
+  FlatKnnHeaps flat(queries, k);
+  std::vector<KnnHeap> reference(queries, KnnHeap(k));
+  for (int i = 0; i < 5000; ++i) {
+    const std::size_t q = rng.next_bounded(queries);
+    const float d = rng.next_float();
+    const std::uint32_t idx = rng.next_u32() % 100000;
+    flat.push(q, d, idx);
+    reference[q].push(d, idx);
+  }
+  for (std::size_t q = 0; q < queries; ++q) {
+    auto expected = reference[q].extract_sorted();
+    EXPECT_EQ(flat.size(q), expected.size());
+    if (!expected.empty() && expected.size() == k) {
+      EXPECT_FLOAT_EQ(flat.worst_dist2(q), expected.back().dist2);
+    }
+  }
+}
+
+TEST(NeighborResultContainer, RecordAndBounds) {
+  NeighborResult result(2, 3);
+  EXPECT_EQ(result.record(0, 7), 1u);
+  EXPECT_EQ(result.record(0, 8), 2u);
+  EXPECT_EQ(result.record(0, 9), 3u);
+  EXPECT_EQ(result.record(0, 10), 3u);  // full: ignored
+  EXPECT_EQ(result.count(0), 3u);
+  EXPECT_EQ(result.count(1), 0u);
+  const auto row = result.neighbors(0);
+  EXPECT_EQ(row[0], 7u);
+  EXPECT_EQ(row[2], 9u);
+  EXPECT_EQ(result.total_neighbors(), 3u);
+}
+
+TEST(NeighborResultContainer, CountOnlyMode) {
+  NeighborResult result(4, 2, /*store_indices=*/false);
+  result.record(1, 5);
+  EXPECT_EQ(result.count(1), 1u);
+  EXPECT_THROW(result.neighbors(1), Error);
+}
+
+}  // namespace
+}  // namespace rtnn

@@ -1,0 +1,269 @@
+#include "rtnn/neighbor_search.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "baselines/brute_force.hpp"
+#include "baselines/fastrnn.hpp"
+#include "datasets/point_cloud.hpp"
+#include "test_util.hpp"
+
+namespace rtnn {
+namespace {
+
+using testing::CloudKind;
+
+// (dataset, #points, radius scale, K, opts)
+enum class Opts { kNone, kSched, kSchedPart, kAll };
+
+std::string to_string(Opts o) {
+  switch (o) {
+    case Opts::kNone: return "noopt";
+    case Opts::kSched: return "sched";
+    case Opts::kSchedPart: return "schedpart";
+    case Opts::kAll: return "all";
+  }
+  return "?";
+}
+
+OptimizationFlags flags_of(Opts o) {
+  switch (o) {
+    case Opts::kNone: return OptimizationFlags::none();
+    case Opts::kSched: return OptimizationFlags::scheduling_only();
+    case Opts::kSchedPart: return OptimizationFlags::no_bundling();
+    case Opts::kAll: return OptimizationFlags::all();
+  }
+  return {};
+}
+
+using SearchCase = std::tuple<CloudKind, int, float, int, Opts>;
+
+class RtnnCorrectness : public ::testing::TestWithParam<SearchCase> {
+ protected:
+  void SetUp() override {
+    const auto [kind, n, r_scale, k, opts] = GetParam();
+    points_ = testing::make_cloud(kind, static_cast<std::size_t>(n), 31);
+    queries_ = data::jittered_queries(points_, 400, testing::typical_radius(kind) * 0.3f,
+                                      37);
+    radius_ = testing::typical_radius(kind) * r_scale;
+    k_ = static_cast<std::uint32_t>(k);
+    params_.radius = radius_;
+    params_.k = k_;
+    params_.opts = flags_of(opts);
+    params_.max_grid_cells = 1 << 18;
+    search_.set_points(points_);
+  }
+
+  std::vector<Vec3> points_;
+  std::vector<Vec3> queries_;
+  float radius_ = 0.0f;
+  std::uint32_t k_ = 0;
+  SearchParams params_;
+  NeighborSearch search_;
+};
+
+TEST_P(RtnnCorrectness, KnnConservativeMatchesBruteForce) {
+  // With the conservative √3·a AABB width, partitioned KNN is exact.
+  params_.mode = SearchMode::kKnn;
+  params_.conservative_knn_aabb = true;
+  const auto expected = baselines::brute_force_knn(points_, queries_, radius_, k_);
+  const auto got = search_.search(queries_, params_);
+  testing::expect_knn_distances_match(points_, queries_, got, expected, "rtnn-knn");
+}
+
+TEST_P(RtnnCorrectness, KnnHeuristicHasHighRecall) {
+  // The paper's equi-volume heuristic: "We find this heuristic to be
+  // sufficient (for correctness) from the datasets we evaluate." Assert
+  // every returned neighbor is valid and aggregate recall ≥ 99%.
+  params_.mode = SearchMode::kKnn;
+  params_.conservative_knn_aabb = false;
+  const auto expected = baselines::brute_force_knn(points_, queries_, radius_, k_);
+  const auto got = search_.search(queries_, params_);
+  testing::expect_all_within_radius(points_, queries_, got, radius_, "rtnn-knn-heur");
+  std::uint64_t got_total = 0, expected_total = 0;
+  for (std::size_t q = 0; q < queries_.size(); ++q) {
+    got_total += got.count(q);
+    expected_total += expected.count(q);
+  }
+  EXPECT_GE(got_total * 100, expected_total * 99)
+      << "recall " << static_cast<double>(got_total) / static_cast<double>(expected_total);
+}
+
+TEST_P(RtnnCorrectness, RangeNeighborsValidAndCountsMatchWhenUnpartitioned) {
+  params_.mode = SearchMode::kRange;
+  const auto expected = baselines::brute_force_range(points_, queries_, radius_, k_);
+  const auto got = search_.search(queries_, params_);
+  testing::expect_all_within_radius(points_, queries_, got, radius_, "rtnn-range");
+  if (!params_.opts.partitioning) {
+    // Unpartitioned range search returns exactly min(K, |within r|).
+    testing::expect_counts_equal(got, expected, "rtnn-range-counts");
+  } else {
+    // Partitioned range search returns "K neighbors from the megacell"
+    // (section 5.1) — a valid bounded subset; count can only shrink.
+    std::uint64_t got_total = 0, expected_total = 0;
+    for (std::size_t q = 0; q < queries_.size(); ++q) {
+      EXPECT_LE(got.count(q), expected.count(q));
+      got_total += got.count(q);
+      expected_total += expected.count(q);
+    }
+    // And it must not collapse: ≥95% of the bounded neighbor mass.
+    EXPECT_GE(got_total * 100, expected_total * 95);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RtnnCorrectness,
+    ::testing::Values(
+        SearchCase{CloudKind::kUniform, 4000, 1.0f, 8, Opts::kNone},
+        SearchCase{CloudKind::kUniform, 4000, 1.0f, 8, Opts::kSched},
+        SearchCase{CloudKind::kUniform, 4000, 1.0f, 8, Opts::kSchedPart},
+        SearchCase{CloudKind::kUniform, 4000, 1.0f, 8, Opts::kAll},
+        SearchCase{CloudKind::kUniform, 1000, 2.0f, 32, Opts::kAll},
+        SearchCase{CloudKind::kUniform, 500, 0.5f, 2, Opts::kAll},
+        SearchCase{CloudKind::kLidar, 6000, 1.0f, 8, Opts::kAll},
+        SearchCase{CloudKind::kLidar, 6000, 1.0f, 8, Opts::kNone},
+        SearchCase{CloudKind::kSurface, 5000, 1.0f, 16, Opts::kAll},
+        SearchCase{CloudKind::kSurface, 5000, 2.0f, 8, Opts::kSchedPart},
+        SearchCase{CloudKind::kNBody, 5000, 1.0f, 8, Opts::kAll},
+        SearchCase{CloudKind::kNBody, 5000, 0.5f, 4, Opts::kSched}),
+    [](const ::testing::TestParamInfo<SearchCase>& info) {
+      return testing::to_string(std::get<0>(info.param)) + "_n" +
+             std::to_string(std::get<1>(info.param)) + "_r" +
+             std::to_string(static_cast<int>(std::get<2>(info.param) * 10)) + "_k" +
+             std::to_string(std::get<3>(info.param)) + "_" +
+             to_string(std::get<4>(info.param));
+    });
+
+TEST(RtnnApi, PreconditionsChecked) {
+  NeighborSearch search;
+  SearchParams params;
+  const std::vector<Vec3> queries{{0, 0, 0}};
+  EXPECT_THROW(search.search(queries, params), Error);  // no points
+  const std::vector<Vec3> points{{0, 0, 0}};
+  search.set_points(points);
+  params.radius = -1.0f;
+  EXPECT_THROW(search.search(queries, params), Error);
+  params.radius = 1.0f;
+  params.k = 0;
+  EXPECT_THROW(search.search(queries, params), Error);
+}
+
+TEST(RtnnApi, ReportPhasesArePopulated) {
+  const auto points = testing::make_cloud(CloudKind::kUniform, 5000, 3);
+  const auto queries = data::jittered_queries(points, 500, 0.01f, 4);
+  SearchParams params;
+  params.mode = SearchMode::kKnn;
+  params.radius = 0.08f;
+  params.k = 8;
+  NeighborSearch::Report report;
+  NeighborSearch search;
+  search.set_points(points);
+  search.search(queries, params, &report);
+  EXPECT_GT(report.time.bvh, 0.0);
+  EXPECT_GT(report.time.search, 0.0);
+  EXPECT_GT(report.time.first_search, 0.0);  // scheduling pre-pass ran
+  EXPECT_GE(report.num_partitions, 1u);
+  EXPECT_GE(report.num_bundles, 1u);
+  EXPECT_LE(report.num_bundles, report.num_partitions);
+  EXPECT_GT(report.stats.rays, 0u);
+  EXPECT_GT(report.stats.is_calls, 0u);
+}
+
+TEST(RtnnApi, CountOnlyModeMatchesCounts) {
+  const auto points = testing::make_cloud(CloudKind::kUniform, 3000, 5);
+  const auto queries = data::jittered_queries(points, 200, 0.01f, 6);
+  SearchParams params;
+  params.mode = SearchMode::kKnn;
+  params.radius = 0.08f;
+  params.k = 8;
+  NeighborSearch search;
+  search.set_points(points);
+  const auto with_indices = search.search(queries, params);
+  params.store_indices = false;
+  const auto counts_only = search.search(queries, params);
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    EXPECT_EQ(counts_only.count(q), with_indices.count(q));
+  }
+  EXPECT_THROW(counts_only.neighbors(0), Error);
+}
+
+TEST(RtnnApi, DeterministicCountsAcrossRuns) {
+  const auto points = testing::make_cloud(CloudKind::kSurface, 4000, 7);
+  const auto queries = data::jittered_queries(points, 300, 0.005f, 8);
+  SearchParams params;
+  params.mode = SearchMode::kKnn;
+  params.radius = 0.03f;
+  params.k = 8;
+  NeighborSearch search;
+  search.set_points(points);
+  const auto a = search.search(queries, params);
+  const auto b = search.search(queries, params);
+  testing::expect_counts_equal(a, b, "determinism");
+}
+
+TEST(RtnnApi, FreeFunctionWrapper) {
+  const auto points = testing::make_cloud(CloudKind::kUniform, 1000, 9);
+  const auto queries = data::jittered_queries(points, 100, 0.01f, 10);
+  SearchParams params;
+  params.radius = 0.1f;
+  params.k = 4;
+  const auto result = rtnn::search(points, queries, params);
+  EXPECT_EQ(result.num_queries(), queries.size());
+}
+
+TEST(RtnnApi, FastRnnBaselineMatchesBruteForce) {
+  const auto points = testing::make_cloud(CloudKind::kUniform, 3000, 11);
+  const auto queries = data::jittered_queries(points, 200, 0.01f, 12);
+  const float radius = 0.08f;
+  const std::uint32_t k = 8;
+  baselines::FastRnn fastrnn;
+  fastrnn.build(points);
+  const auto got = fastrnn.knn_search(queries, radius, k);
+  const auto expected = baselines::brute_force_knn(points, queries, radius, k);
+  testing::expect_knn_distances_match(points, queries, got, expected, "fastrnn");
+}
+
+TEST(RtnnApi, SimtLaunchesProduceSameResults) {
+  const auto points = testing::make_cloud(CloudKind::kUniform, 2000, 13);
+  const auto queries = data::jittered_queries(points, 150, 0.01f, 14);
+  SearchParams params;
+  params.mode = SearchMode::kKnn;
+  params.radius = 0.08f;
+  params.k = 8;
+  NeighborSearch search;
+  search.set_points(points);
+  const auto independent = search.search(queries, params);
+  params.simt_launches = true;
+  NeighborSearch::Report report;
+  const auto simt = search.search(queries, params, &report);
+  testing::expect_knn_distances_match(points, queries, simt, independent, "simt");
+  EXPECT_GT(report.stats.warps, 0u);
+}
+
+TEST(RtnnApi, UncalibratedModelStillProducesValidPlan) {
+  // Bundling with the shipped default constants must at least produce a
+  // valid covering plan (paper: uncalibrated → fall back is allowed; we
+  // keep defaults but results must stay correct either way).
+  const auto points = testing::make_cloud(CloudKind::kNBody, 8000, 15);
+  const auto queries = data::jittered_queries(points, 300, 0.05f, 16);
+  SearchParams params;
+  params.mode = SearchMode::kKnn;
+  params.radius = 1.0f;
+  params.k = 8;
+  params.opts = OptimizationFlags::all();
+  NeighborSearch::Report report;
+  NeighborSearch search;
+  search.set_points(points);
+  const auto got = search.search(queries, params, &report);
+  const auto expected = baselines::brute_force_knn(points, queries, 1.0f, 8);
+  std::uint64_t got_total = 0, exp_total = 0;
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    got_total += got.count(q);
+    exp_total += expected.count(q);
+  }
+  EXPECT_GE(got_total * 100, exp_total * 99);
+}
+
+}  // namespace
+}  // namespace rtnn

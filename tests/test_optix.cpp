@@ -1,0 +1,144 @@
+#include "optix/optix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/rng.hpp"
+
+namespace rtnn::ox {
+namespace {
+
+struct TestScene {
+  std::vector<Vec3> points;
+  std::vector<Aabb> aabbs;
+  Accel accel;
+};
+
+TestScene make_scene(std::size_t n, float width, std::uint64_t seed) {
+  TestScene scene;
+  Pcg32 rng(seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    scene.points.push_back(rng.uniform_in_aabb({{0, 0, 0}, {1, 1, 1}}));
+    scene.aabbs.push_back(Aabb::cube(scene.points.back(), width));
+  }
+  const Context ctx;
+  scene.accel = ctx.build_accel(scene.aabbs);
+  return scene;
+}
+
+// Minimal pipeline: counts IS invocations per ray.
+struct CountingPipeline {
+  std::vector<Vec3> queries;
+  std::vector<std::uint32_t> counts;
+  Ray raygen(std::uint32_t i) const { return Ray::short_ray(queries[i]); }
+  TraceAction intersection(std::uint32_t ray, std::uint32_t) {
+    ++counts[ray];
+    return TraceAction::kContinue;
+  }
+};
+
+// Pipeline with all five shader stages.
+struct FullPipeline {
+  std::vector<Vec3> queries;
+  std::vector<std::uint32_t> counts;
+  std::vector<std::uint8_t> closest_hit_called;
+  std::vector<std::uint8_t> miss_called;
+  Ray raygen(std::uint32_t i) const { return Ray::short_ray(queries[i]); }
+  TraceAction intersection(std::uint32_t ray, std::uint32_t) {
+    ++counts[ray];
+    return TraceAction::kContinue;
+  }
+  void closest_hit(std::uint32_t ray) { closest_hit_called[ray] = 1; }
+  void miss(std::uint32_t ray) { miss_called[ray] = 1; }
+};
+
+static_assert(PipelineShaders<CountingPipeline>);
+static_assert(PipelineShaders<FullPipeline>);
+static_assert(!HasClosestHit<CountingPipeline>);
+static_assert(HasClosestHit<FullPipeline>);
+static_assert(HasMiss<FullPipeline>);
+
+TEST(Optix, AccelBuildSnapshotsGeometry) {
+  TestScene scene = make_scene(100, 0.05f, 1);
+  EXPECT_TRUE(scene.accel.built());
+  EXPECT_EQ(scene.accel.prim_count(), 100u);
+  EXPECT_GE(scene.accel.build_seconds(), 0.0);
+  // Mutating the source AABBs must not affect the accel (snapshot
+  // semantics, like a GPU build).
+  const Aabb before = scene.accel.bvh().prim_aabbs()[0];
+  scene.aabbs[0] = Aabb::cube({100, 100, 100}, 1.0f);
+  EXPECT_EQ(scene.accel.bvh().prim_aabbs()[0], before);
+}
+
+TEST(Optix, LaunchRunsEveryIndex) {
+  TestScene scene = make_scene(500, 0.1f, 2);
+  Pcg32 rng(2);
+  CountingPipeline pipeline;
+  for (int i = 0; i < 100; ++i) {
+    pipeline.queries.push_back(rng.uniform_in_aabb({{0, 0, 0}, {1, 1, 1}}));
+  }
+  pipeline.counts.assign(pipeline.queries.size(), 0);
+  const auto stats = launch(scene.accel, pipeline, 100);
+  EXPECT_EQ(stats.rays, 100u);
+  std::uint64_t total = 0;
+  for (const auto c : pipeline.counts) total += c;
+  EXPECT_EQ(total, stats.is_calls);
+}
+
+TEST(Optix, ClosestHitAndMissDispatch) {
+  // Queries inside the cloud trigger IS ⇒ CH; far-away queries trigger
+  // Miss — the "Found a Hit?" branch of paper Figure 3.
+  TestScene scene = make_scene(2000, 0.2f, 3);
+  FullPipeline pipeline;
+  pipeline.queries = {Vec3{0.5f, 0.5f, 0.5f}, Vec3{50.0f, 50.0f, 50.0f}};
+  pipeline.counts.assign(2, 0);
+  pipeline.closest_hit_called.assign(2, 0);
+  pipeline.miss_called.assign(2, 0);
+  launch(scene.accel, pipeline, 2);
+  EXPECT_EQ(pipeline.closest_hit_called[0], 1);
+  EXPECT_EQ(pipeline.miss_called[0], 0);
+  EXPECT_EQ(pipeline.closest_hit_called[1], 0);
+  EXPECT_EQ(pipeline.miss_called[1], 1);
+}
+
+TEST(Optix, LaunchAgainstUnbuiltAccelThrows) {
+  Accel accel;
+  CountingPipeline pipeline;
+  pipeline.queries = {Vec3{0, 0, 0}};
+  pipeline.counts.assign(1, 0);
+  EXPECT_THROW(launch(accel, pipeline, 1), Error);
+}
+
+TEST(Optix, SimtLaunchOptionProducesWarpStats) {
+  TestScene scene = make_scene(300, 0.1f, 4);
+  Pcg32 rng(4);
+  CountingPipeline pipeline;
+  for (int i = 0; i < 64; ++i) {
+    pipeline.queries.push_back(rng.uniform_in_aabb({{0, 0, 0}, {1, 1, 1}}));
+  }
+  pipeline.counts.assign(pipeline.queries.size(), 0);
+  LaunchOptions options;
+  options.model = ExecutionModel::kWarpLockstep;
+  const auto stats = launch(scene.accel, pipeline, 64, options);
+  EXPECT_EQ(stats.warps, 2u);
+  EXPECT_GT(stats.occupancy(), 0.0);
+}
+
+TEST(Optix, LeafSizeOptionHonored) {
+  const Context ctx;
+  Pcg32 rng(5);
+  std::vector<Aabb> aabbs;
+  for (int i = 0; i < 64; ++i) {
+    aabbs.push_back(Aabb::cube(rng.uniform_in_aabb({{0, 0, 0}, {1, 1, 1}}), 0.01f));
+  }
+  AccelBuildOptions options;
+  options.leaf_size = 4;
+  const Accel accel = ctx.build_accel(aabbs, options);
+  for (const auto& node : accel.bvh().nodes()) {
+    if (node.is_leaf()) EXPECT_LE(node.count, 4u);
+  }
+}
+
+}  // namespace
+}  // namespace rtnn::ox

@@ -1,0 +1,97 @@
+#include "core/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace rtnn {
+namespace {
+
+TEST(Parallel, ForCoversEveryIndexExactlyOnce) {
+  const std::int64_t n = 100000;
+  std::vector<std::atomic<int>> hits(n);
+  parallel_for(0, n, [&](std::int64_t i) { hits[static_cast<std::size_t>(i)]++; }, 16);
+  for (const auto& h : hits) {
+    EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(Parallel, ForEmptyAndReversedRanges) {
+  int calls = 0;
+  parallel_for(5, 5, [&](std::int64_t) { ++calls; });
+  parallel_for(5, 3, [&](std::int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(Parallel, ForSmallRangeRunsSerially) {
+  // Ranges below the grain run inline (no data races on non-atomic state).
+  std::vector<int> order;
+  parallel_for(0, 10, [&](std::int64_t i) { order.push_back(static_cast<int>(i)); },
+               1024);
+  std::vector<int> expected(10);
+  std::iota(expected.begin(), expected.end(), 0);
+  EXPECT_EQ(order, expected);
+}
+
+TEST(Parallel, ChunksPartitionTheRange) {
+  const std::int64_t n = 54321;
+  std::atomic<std::int64_t> total{0};
+  parallel_for_chunks(0, n, [&](std::int64_t lo, std::int64_t hi) {
+    EXPECT_LE(lo, hi);
+    total += hi - lo;
+  }, 100);
+  EXPECT_EQ(total.load(), n);
+}
+
+TEST(Parallel, ReduceSum) {
+  const std::int64_t n = 200000;
+  const auto sum = parallel_reduce<std::int64_t>(
+      0, n, 0, [](std::int64_t i) { return i; },
+      [](std::int64_t a, std::int64_t b) { return a + b; });
+  EXPECT_EQ(sum, n * (n - 1) / 2);
+}
+
+TEST(Parallel, ReduceMax) {
+  std::vector<int> values(10000);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    values[i] = static_cast<int>((i * 2654435761u) % 99991);
+  }
+  const int expected = *std::max_element(values.begin(), values.end());
+  const int got = parallel_reduce<int>(
+      0, static_cast<std::int64_t>(values.size()), 0,
+      [&](std::int64_t i) { return values[static_cast<std::size_t>(i)]; },
+      [](int a, int b) { return a > b ? a : b; });
+  EXPECT_EQ(got, expected);
+}
+
+TEST(Parallel, ReduceEmptyReturnsInit) {
+  const int got = parallel_reduce<int>(
+      3, 3, -7, [](std::int64_t) { return 100; }, [](int a, int b) { return a + b; });
+  EXPECT_EQ(got, -7);
+}
+
+TEST(Parallel, ThreadOverride) {
+  set_num_threads(3);
+  EXPECT_EQ(num_threads(), 3);
+  set_num_threads(0);
+  EXPECT_GE(num_threads(), 1);
+}
+
+TEST(Parallel, ExclusiveScanU32) {
+  std::vector<std::uint32_t> v{3, 0, 2, 5};
+  const auto total = exclusive_scan(v);
+  EXPECT_EQ(total, 10u);
+  EXPECT_EQ(v, (std::vector<std::uint32_t>{0, 3, 3, 5}));
+}
+
+TEST(Parallel, ExclusiveScanU64) {
+  std::vector<std::uint64_t> v{1, 1, 1};
+  const auto total = exclusive_scan(v);
+  EXPECT_EQ(total, 3u);
+  EXPECT_EQ(v, (std::vector<std::uint64_t>{0, 1, 2}));
+}
+
+}  // namespace
+}  // namespace rtnn

@@ -1,0 +1,108 @@
+#include "core/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace rtnn {
+namespace {
+
+TEST(Pcg32, DeterministicForSeed) {
+  Pcg32 a(42, 1);
+  Pcg32 b(42, 1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u32(), b.next_u32());
+  }
+}
+
+TEST(Pcg32, DifferentSeedsDiffer) {
+  Pcg32 a(1);
+  Pcg32 b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u32() == b.next_u32()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Pcg32, DifferentStreamsDiffer) {
+  Pcg32 a(42, 1);
+  Pcg32 b(42, 2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u32() == b.next_u32()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Pcg32, BoundedStaysInBounds) {
+  Pcg32 rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.next_bounded(17), 17u);
+  }
+  EXPECT_EQ(rng.next_bounded(0), 0u);
+  EXPECT_EQ(rng.next_bounded(1), 0u);
+}
+
+TEST(Pcg32, FloatInUnitInterval) {
+  Pcg32 rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const float f = rng.next_float();
+    EXPECT_GE(f, 0.0f);
+    EXPECT_LT(f, 1.0f);
+  }
+}
+
+TEST(Pcg32, UniformRangeRespected) {
+  Pcg32 rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const float v = rng.uniform(-2.0f, 5.0f);
+    EXPECT_GE(v, -2.0f);
+    EXPECT_LT(v, 5.0f);
+  }
+}
+
+TEST(Pcg32, UniformMeanApproximately) {
+  Pcg32 rng(5);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.next_float();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Pcg32, NormalMoments) {
+  Pcg32 rng(11);
+  double sum = 0.0;
+  double sum2 = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.normal();
+    sum += v;
+    sum2 += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.05);
+}
+
+TEST(Pcg32, UnitVectorIsUnit) {
+  Pcg32 rng(13);
+  Vec3 mean{};
+  for (int i = 0; i < 10000; ++i) {
+    const Vec3 v = rng.unit_vector();
+    EXPECT_NEAR(length(v), 1.0f, 1e-5f);
+    mean += v;
+  }
+  // Roughly isotropic.
+  EXPECT_LT(length(mean / 10000.0f), 0.05f);
+}
+
+TEST(Pcg32, UniformInAabbContained) {
+  Pcg32 rng(17);
+  const Aabb box{{-1.0f, 2.0f, -3.0f}, {1.0f, 4.0f, 0.0f}};
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_TRUE(box.contains(rng.uniform_in_aabb(box)));
+  }
+}
+
+}  // namespace
+}  // namespace rtnn

@@ -1,0 +1,97 @@
+#include "rtnn/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/rng.hpp"
+#include "datasets/point_cloud.hpp"
+#include "test_util.hpp"
+
+namespace rtnn {
+namespace {
+
+struct SchedulerFixture : ::testing::Test {
+  void SetUp() override {
+    points = testing::make_cloud(testing::CloudKind::kUniform, 5000, 1);
+    queries = data::jittered_queries(points, 2000, 0.01f, 2);
+    data::shuffle(queries, 3);  // deliberately incoherent input order
+    std::vector<Aabb> aabbs(points.size());
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      aabbs[i] = Aabb::cube(points[i], 2.0f * radius);
+    }
+    accel = ox::Context{}.build_accel(aabbs);
+  }
+
+  std::vector<Vec3> points;
+  std::vector<Vec3> queries;
+  float radius = 0.05f;
+  ox::Accel accel;
+};
+
+TEST_F(SchedulerFixture, OrderIsAPermutation) {
+  const ScheduleResult sched = schedule_queries(accel, points, queries);
+  ASSERT_EQ(sched.order.size(), queries.size());
+  std::vector<std::uint32_t> sorted = sched.order;
+  std::sort(sorted.begin(), sorted.end());
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    ASSERT_EQ(sorted[i], static_cast<std::uint32_t>(i));
+  }
+}
+
+TEST_F(SchedulerFixture, ScheduledOrderIsSpatiallyCoherent) {
+  // The point of section 4: adjacent rays should be spatially close.
+  const ScheduleResult sched = schedule_queries(accel, points, queries);
+  auto mean_adjacent_distance = [&](const std::vector<std::uint32_t>& order) {
+    double sum = 0.0;
+    for (std::size_t i = 1; i < order.size(); ++i) {
+      sum += distance(queries[order[i - 1]], queries[order[i]]);
+    }
+    return sum / static_cast<double>(order.size() - 1);
+  };
+  std::vector<std::uint32_t> identity(queries.size());
+  std::iota(identity.begin(), identity.end(), 0u);
+  EXPECT_LT(mean_adjacent_distance(sched.order),
+            0.25 * mean_adjacent_distance(identity));
+}
+
+TEST_F(SchedulerFixture, FirstHitLaunchIsTruncated) {
+  // The pre-pass invokes the IS shader at most once per ray — that is what
+  // makes it "extremely efficient" (section 4).
+  const ScheduleResult sched = schedule_queries(accel, points, queries);
+  EXPECT_LE(sched.first_hit_stats.is_calls, queries.size());
+  EXPECT_EQ(sched.first_hit_stats.rays, queries.size());
+  // Most jittered queries sit inside some AABB, so most rays terminate.
+  EXPECT_GT(sched.first_hit_stats.terminated_rays, queries.size() / 2);
+}
+
+TEST_F(SchedulerFixture, QueriesWithNoEnclosingAabbStillScheduled) {
+  // Far-away queries hit nothing; they must still appear in the order
+  // (sorted by their own position).
+  std::vector<Vec3> mixed = queries;
+  for (int i = 0; i < 50; ++i) {
+    mixed.push_back(Vec3{100.0f + static_cast<float>(i), 0.0f, 0.0f});
+  }
+  const ScheduleResult sched = schedule_queries(accel, points, mixed);
+  ASSERT_EQ(sched.order.size(), mixed.size());
+  std::vector<std::uint32_t> sorted = sched.order;
+  std::sort(sorted.begin(), sorted.end());
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    ASSERT_EQ(sorted[i], static_cast<std::uint32_t>(i));
+  }
+}
+
+TEST_F(SchedulerFixture, DeterministicAcrossRuns) {
+  const ScheduleResult a = schedule_queries(accel, points, queries);
+  const ScheduleResult b = schedule_queries(accel, points, queries);
+  EXPECT_EQ(a.order, b.order);
+}
+
+TEST_F(SchedulerFixture, EmptyQuerySet) {
+  const ScheduleResult sched = schedule_queries(accel, points, {});
+  EXPECT_TRUE(sched.order.empty());
+}
+
+}  // namespace
+}  // namespace rtnn

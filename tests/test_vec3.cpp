@@ -1,0 +1,117 @@
+#include "core/vec3.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+namespace rtnn {
+namespace {
+
+TEST(Vec3, DefaultIsZero) {
+  const Vec3 v;
+  EXPECT_EQ(v.x, 0.0f);
+  EXPECT_EQ(v.y, 0.0f);
+  EXPECT_EQ(v.z, 0.0f);
+}
+
+TEST(Vec3, SplatConstructor) {
+  const Vec3 v(2.5f);
+  EXPECT_EQ(v, Vec3(2.5f, 2.5f, 2.5f));
+}
+
+TEST(Vec3, Arithmetic) {
+  const Vec3 a{1.0f, 2.0f, 3.0f};
+  const Vec3 b{4.0f, 5.0f, 6.0f};
+  EXPECT_EQ(a + b, Vec3(5.0f, 7.0f, 9.0f));
+  EXPECT_EQ(b - a, Vec3(3.0f, 3.0f, 3.0f));
+  EXPECT_EQ(a * 2.0f, Vec3(2.0f, 4.0f, 6.0f));
+  EXPECT_EQ(2.0f * a, Vec3(2.0f, 4.0f, 6.0f));
+  EXPECT_EQ(a / 2.0f, Vec3(0.5f, 1.0f, 1.5f));
+  EXPECT_EQ(-a, Vec3(-1.0f, -2.0f, -3.0f));
+}
+
+TEST(Vec3, CompoundAssignment) {
+  Vec3 v{1.0f, 1.0f, 1.0f};
+  v += Vec3{1.0f, 2.0f, 3.0f};
+  EXPECT_EQ(v, Vec3(2.0f, 3.0f, 4.0f));
+  v -= Vec3{1.0f, 1.0f, 1.0f};
+  EXPECT_EQ(v, Vec3(1.0f, 2.0f, 3.0f));
+  v *= 3.0f;
+  EXPECT_EQ(v, Vec3(3.0f, 6.0f, 9.0f));
+  v /= 3.0f;
+  EXPECT_EQ(v, Vec3(1.0f, 2.0f, 3.0f));
+}
+
+TEST(Vec3, Indexing) {
+  Vec3 v{7.0f, 8.0f, 9.0f};
+  EXPECT_EQ(v[0], 7.0f);
+  EXPECT_EQ(v[1], 8.0f);
+  EXPECT_EQ(v[2], 9.0f);
+  v[1] = -1.0f;
+  EXPECT_EQ(v.y, -1.0f);
+}
+
+TEST(Vec3, DotAndCross) {
+  const Vec3 x{1.0f, 0.0f, 0.0f};
+  const Vec3 y{0.0f, 1.0f, 0.0f};
+  EXPECT_EQ(dot(x, y), 0.0f);
+  EXPECT_EQ(cross(x, y), Vec3(0.0f, 0.0f, 1.0f));
+  EXPECT_EQ(dot(Vec3(1, 2, 3), Vec3(4, 5, 6)), 32.0f);
+}
+
+TEST(Vec3, Lengths) {
+  const Vec3 v{3.0f, 4.0f, 0.0f};
+  EXPECT_FLOAT_EQ(length2(v), 25.0f);
+  EXPECT_FLOAT_EQ(length(v), 5.0f);
+  const Vec3 n = normalize(v);
+  EXPECT_FLOAT_EQ(length(n), 1.0f);
+  EXPECT_EQ(normalize(Vec3{}), Vec3(0.0f, 0.0f, 0.0f));  // zero-safe
+}
+
+TEST(Vec3, Distance) {
+  EXPECT_FLOAT_EQ(distance2(Vec3(1, 1, 1), Vec3(2, 2, 2)), 3.0f);
+  EXPECT_FLOAT_EQ(distance(Vec3(0, 0, 0), Vec3(0, 3, 4)), 5.0f);
+}
+
+TEST(Vec3, MinMaxComponents) {
+  const Vec3 a{1.0f, 5.0f, 3.0f};
+  const Vec3 b{2.0f, 4.0f, 6.0f};
+  EXPECT_EQ(min(a, b), Vec3(1.0f, 4.0f, 3.0f));
+  EXPECT_EQ(max(a, b), Vec3(2.0f, 5.0f, 6.0f));
+  EXPECT_EQ(min_component(a), 1.0f);
+  EXPECT_EQ(max_component(a), 5.0f);
+}
+
+TEST(Vec3, Lerp) {
+  EXPECT_EQ(lerp(Vec3(0.0f), Vec3(2.0f), 0.5f), Vec3(1.0f));
+  EXPECT_EQ(lerp(Vec3(1.0f), Vec3(3.0f), 0.0f), Vec3(1.0f));
+  EXPECT_EQ(lerp(Vec3(1.0f), Vec3(3.0f), 1.0f), Vec3(3.0f));
+}
+
+TEST(Vec3, IsFinite) {
+  EXPECT_TRUE(is_finite(Vec3(1.0f, 2.0f, 3.0f)));
+  EXPECT_FALSE(is_finite(Vec3(std::numeric_limits<float>::infinity(), 0.0f, 0.0f)));
+  EXPECT_FALSE(is_finite(Vec3(0.0f, std::nanf(""), 0.0f)));
+}
+
+TEST(Vec3, StreamOutput) {
+  std::ostringstream os;
+  os << Vec3{1.0f, 2.0f, 3.0f};
+  EXPECT_EQ(os.str(), "(1, 2, 3)");
+}
+
+TEST(Int3, BasicOps) {
+  const Int3 a{1, 2, 3};
+  const Int3 b{4, 5, 6};
+  EXPECT_EQ(a + b, Int3(5, 7, 9));
+  EXPECT_EQ(b - a, Int3(3, 3, 3));
+  EXPECT_EQ(a[2], 3);
+  Int3 c = a;
+  c[0] = 9;
+  EXPECT_EQ(c, Int3(9, 2, 3));
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace rtnn
