@@ -5,21 +5,20 @@
 // over cuNSearch; KNN: 3.5x over FRNN, 65.0x over FastRNN. Speedups grow
 // with input size; OOM/DNF markers for baselines that failed.
 //
-// Here: same baseline classes on the CPU substrate — Octree (PCLOctree
-// analog), uniform-grid range search (cuNSearch analog), grid KNN (FRNN
-// analog), and the naive RT mapping (FastRNN analog). All timings are
-// end-to-end (index build + search); queries = the points themselves.
-// A baseline is marked DNF when it exceeds 200x RTNN's time (the paper
-// used 1000x; ours is tighter to keep the suite fast).
+// Here: the same baseline classes on the CPU substrate, all driven through
+// the engine layer's SearchBackend interface — "octree" (PCLOctree
+// analog), "grid" (cuNSearch/FRNN analogs), "fastrnn" (naive RT mapping),
+// "rtnn". All timings are end-to-end (set_points + lazy index build +
+// search); queries = the points themselves. A baseline is marked DNF when
+// it exceeds 200x RTNN's time (the paper used 1000x; ours is tighter to
+// keep the suite fast).
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
-#include "baselines/fastrnn.hpp"
-#include "baselines/grid_knn.hpp"
-#include "baselines/grid_search.hpp"
-#include "baselines/octree.hpp"
 #include "bench_util.hpp"
+#include "engine/engine.hpp"
 #include "rtnn/rtnn.hpp"
 
 using namespace rtnn;
@@ -35,6 +34,16 @@ struct Row {
   bool fastrnn_dnf = false;
 };
 
+/// End-to-end time of one backend on one workload: upload, (re)build the
+/// structure, search.
+double time_backend(engine::SearchBackend& backend, std::span<const Vec3> points,
+                    std::span<const Vec3> queries, const SearchParams& params) {
+  return bench::time_once([&] {
+    backend.set_points(points);
+    backend.search(queries, params);
+  });
+}
+
 }  // namespace
 
 int main() {
@@ -43,6 +52,11 @@ int main() {
       "Figure 11 — RTNN speedup over baselines (range + KNN, 9 datasets)",
       "geomean range: 2.2x vs PCLOctree, 44x vs cuNSearch; "
       "KNN: 3.5x vs FRNN, 65x vs FastRNN; speedups grow with input size");
+
+  const auto rtnn_backend = engine::make_backend("rtnn");
+  const auto octree_backend = engine::make_backend("octree");
+  const auto grid_backend = engine::make_backend("grid");
+  const auto fastrnn_backend = engine::make_backend("fastrnn");
 
   std::vector<Row> rows;
   for (const char* name :
@@ -58,46 +72,24 @@ int main() {
     params.k = kK;
     params.store_indices = false;
 
-    NeighborSearch rtnn_search;
     // --- Range search ---
     params.mode = SearchMode::kRange;
-    row.t_rtnn_range = bench::time_once([&] {
-      rtnn_search.set_points(points);
-      rtnn_search.search(points, params);
-    });
-    row.t_octree = bench::time_once([&] {
-      baselines::Octree octree;
-      octree.build(points);
-      octree.range_search(points, ds.radius, kK);
-    });
-    row.t_grid = bench::time_once([&] {
-      baselines::GridRangeSearch grid;
-      grid.build(points, ds.radius);
-      grid.search(points, kK);
-    });
+    row.t_rtnn_range = time_backend(*rtnn_backend, points, points, params);
+    row.t_octree = time_backend(*octree_backend, points, points, params);
+    row.t_grid = time_backend(*grid_backend, points, points, params);
 
     // --- KNN search ---
     params.mode = SearchMode::kKnn;
-    row.t_rtnn_knn = bench::time_once([&] {
-      rtnn_search.set_points(points);
-      rtnn_search.search(points, params);
-    });
-    row.t_frnn = bench::time_once([&] {
-      baselines::GridKnn grid;
-      grid.build(points, ds.radius);
-      grid.search(points, kK);
-    });
+    row.t_rtnn_knn = time_backend(*rtnn_backend, points, points, params);
+    row.t_frnn = time_backend(*grid_backend, points, points, params);
     // FastRNN (naive RT KNN) can be orders of magnitude slower; probe it
     // on a query subsample and extrapolate, marking DNF past the cap.
     {
       const std::size_t probe = std::max<std::size_t>(points.size() / 20, 1000);
       const std::span<const Vec3> probe_queries(points.data(),
                                                 std::min(probe, points.size()));
-      baselines::FastRnn fastrnn;
-      const double t_probe = bench::time_once([&] {
-        fastrnn.build(points);
-        fastrnn.knn_search(probe_queries, ds.radius, kK);
-      });
+      const double t_probe =
+          time_backend(*fastrnn_backend, points, probe_queries, params);
       row.t_fastrnn =
           t_probe * static_cast<double>(points.size()) /
           static_cast<double>(probe_queries.size());

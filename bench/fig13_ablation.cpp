@@ -10,12 +10,18 @@
 // Oracle here = best measured time over {scheduling-only (no partitioning)}
 // ∪ {every theorem-family bundling plan M_o = 1..M}, the same "offline
 // exhaustive search infeasible at run time" the paper describes.
+//
+// Each ablation point is a hand-assembled stage pipeline (rtnn/stages.hpp)
+// run through NeighborSearch::run_stages() — the axes are real stage
+// objects, not bool flags.
 #include <cstdio>
 #include <limits>
+#include <memory>
 #include <numeric>
 
 #include "bench_util.hpp"
 #include "rtnn/rtnn.hpp"
+#include "rtnn/stages.hpp"
 
 using namespace rtnn;
 
@@ -23,22 +29,36 @@ namespace {
 
 constexpr std::uint32_t kK = 16;
 
+/// One ablation point: which stages run before the launch.
+std::vector<std::unique_ptr<SearchStage>> ablation_pipeline(bool sched, bool part,
+                                                            bool bundle) {
+  std::vector<std::unique_ptr<SearchStage>> stages;
+  if (sched) stages.push_back(std::make_unique<ScheduleStage>());
+  if (part) {
+    stages.push_back(std::make_unique<PartitionStage>());
+    stages.push_back(std::make_unique<BundleStage>(bundle));
+  }
+  stages.push_back(std::make_unique<LaunchStage>());
+  return stages;
+}
+
 double run_config(NeighborSearch& search, const bench::BenchDataset& ds,
-                  SearchMode mode, OptimizationFlags opts) {
+                  SearchMode mode, bool sched, bool part, bool bundle) {
   SearchParams params;
   params.mode = mode;
   params.radius = ds.radius;
   params.k = kK;
-  params.opts = opts;
   params.store_indices = false;
   params.max_grid_cells = std::uint64_t{1} << 24;
-  return bench::time_once([&] { search.search(ds.points, params); });
+  const auto stages = ablation_pipeline(sched, part, bundle);
+  return bench::time_once([&] { search.run_stages(ds.points, params, stages); });
 }
 
 double run_oracle(NeighborSearch& search, const bench::BenchDataset& ds,
                   SearchMode mode) {
   // Candidate 1: no partitioning at all.
-  double best = run_config(search, ds, mode, OptimizationFlags::scheduling_only());
+  double best = run_config(search, ds, mode, /*sched=*/true, /*part=*/false,
+                           /*bundle=*/false);
   // Candidates 2..: every theorem-family plan, executed for real.
   SearchParams params;
   params.mode = mode;
@@ -54,8 +74,6 @@ double run_oracle(NeighborSearch& search, const bench::BenchDataset& ds,
   const std::size_t max_plans = 12;
   const std::size_t step = std::max<std::size_t>(1, m / max_plans);
   for (std::size_t mo = 1; mo <= m; mo += step) {
-    CostModel fake;  // force exactly mo bundles by constructing the plan
-    fake.calibrated = true;
     // Build the theorem plan for this mo directly.
     std::vector<std::uint32_t> by_count(m);
     std::iota(by_count.begin(), by_count.end(), 0u);
@@ -114,12 +132,10 @@ int main() {
     std::printf("%-8s %10s %10s %12s %14s %10s\n", "mode", "NoOpt[s]", "Sched[s]",
                 "+Part[s]", "+Bundle[s]", "Oracle[s]");
     for (const SearchMode mode : {SearchMode::kKnn, SearchMode::kRange}) {
-      const double t_noopt = run_config(search, ds, mode, OptimizationFlags::none());
-      const double t_sched =
-          run_config(search, ds, mode, OptimizationFlags::scheduling_only());
-      const double t_part =
-          run_config(search, ds, mode, OptimizationFlags::no_bundling());
-      const double t_bundle = run_config(search, ds, mode, OptimizationFlags::all());
+      const double t_noopt = run_config(search, ds, mode, false, false, false);
+      const double t_sched = run_config(search, ds, mode, true, false, false);
+      const double t_part = run_config(search, ds, mode, true, true, false);
+      const double t_bundle = run_config(search, ds, mode, true, true, true);
       const double t_oracle = run_oracle(search, ds, mode);
       std::printf("%-8s %10.3f %10.3f %12.3f %14.3f %10.3f\n",
                   mode == SearchMode::kKnn ? "KNN" : "Range", t_noopt, t_sched, t_part,

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "datasets/nbody.hpp"
+#include "engine/engine.hpp"
 #include "rtnn/rtnn.hpp"
 
 namespace {
@@ -58,10 +59,10 @@ int main(int argc, char** argv) {
   params.mode = rtnn::SearchMode::kRange;
   params.radius = linking_length;
   params.k = 32;
-  rtnn::NeighborSearch search;
-  search.set_points(galaxies);
-  rtnn::NeighborSearch::Report report;
-  const rtnn::NeighborResult links = search.search(galaxies, params, &report);
+  const auto search = rtnn::engine::make_backend("rtnn");
+  search->set_points(galaxies);
+  rtnn::engine::SearchBackend::Report report;
+  const rtnn::NeighborResult links = search->search(galaxies, params, &report);
   std::cout << "  range search: " << report.time.total() << " s, "
             << links.total_neighbors() << " directed links, " << report.num_partitions
             << " partitions\n";

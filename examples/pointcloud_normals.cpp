@@ -13,6 +13,7 @@
 #include <iostream>
 
 #include "datasets/lidar.hpp"
+#include "engine/engine.hpp"
 #include "rtnn/rtnn.hpp"
 
 namespace {
@@ -54,10 +55,10 @@ int main(int argc, char** argv) {
   // avoiding the degenerate single-ring (collinear) case.
   params.radius = 2.0f;
   params.k = 48;
-  rtnn::NeighborSearch search;
-  search.set_points(cloud);
-  rtnn::NeighborSearch::Report report;
-  const rtnn::NeighborResult knn = search.search(cloud, params, &report);
+  const auto search = rtnn::engine::make_backend("rtnn");
+  search->set_points(cloud);
+  rtnn::engine::SearchBackend::Report report;
+  const rtnn::NeighborResult knn = search->search(cloud, params, &report);
   std::cout << "  KNN search: " << report.time.total() << " s ("
             << report.num_partitions << " partitions, " << report.num_bundles
             << " bundles)\n";

@@ -1,14 +1,16 @@
 // Quickstart: the smallest complete RTNN program.
 //
 // Generates a synthetic point cloud, runs a K-nearest-neighbor search and
-// a fixed-radius (range) search through the public API, and prints a few
-// results plus the phase breakdown the paper reports in Figure 12.
+// a fixed-radius (range) search through the engine layer's SearchBackend
+// interface, and prints a few results plus the phase breakdown the paper
+// reports in Figure 12.
 //
 //   ./quickstart [num_points]
 #include <cstdlib>
 #include <iostream>
 
 #include "datasets/uniform.hpp"
+#include "engine/engine.hpp"
 #include "rtnn/rtnn.hpp"
 
 int main(int argc, char** argv) {
@@ -26,15 +28,18 @@ int main(int argc, char** argv) {
   params.radius = 0.1f;
   params.k = 8;
 
-  // 3. KNN search.
-  rtnn::NeighborSearch search;
-  search.set_points(points);
+  // 3. KNN search through the full RTNN backend. Any registered backend
+  //    ("brute_force", "grid", "octree", "fastrnn", "rtnn", "auto")
+  //    serves the same interface.
+  const auto backend = rtnn::engine::make_backend("rtnn");
+  backend->set_points(points);
   params.mode = rtnn::SearchMode::kKnn;
-  rtnn::NeighborSearch::Report report;
-  const rtnn::NeighborResult knn = search.search(queries, params, &report);
+  rtnn::engine::SearchBackend::Report report;
+  const rtnn::NeighborResult knn = backend->search(queries, params, &report);
 
   std::cout << "KNN (r=" << params.radius << ", K=" << params.k << ") over " << n
-            << " points, " << queries.size() << " queries\n";
+            << " points, " << queries.size() << " queries via '" << backend->name()
+            << "'\n";
   std::cout << "  query 0 neighbors:";
   for (const std::uint32_t p : knn.neighbors(0)) std::cout << ' ' << p;
   std::cout << "\n  total neighbors: " << knn.total_neighbors() << '\n';
@@ -47,16 +52,26 @@ int main(int argc, char** argv) {
 
   // 4. Range search with the same interface.
   params.mode = rtnn::SearchMode::kRange;
-  const rtnn::NeighborResult range = search.search(queries, params);
+  const rtnn::NeighborResult range = backend->search(queries, params);
   std::cout << "Range: total neighbors " << range.total_neighbors() << '\n';
 
-  // 5. Turning the paper's optimizations off reproduces the naive
-  //    ray-tracing mapping (the FastRNN baseline).
+  // 5. The naive ray-tracing mapping (the FastRNN baseline) is just
+  //    another backend behind the same contract.
   params.mode = rtnn::SearchMode::kKnn;
-  params.opts = rtnn::OptimizationFlags::none();
-  rtnn::NeighborSearch::Report naive_report;
-  search.search(queries, params, &naive_report);
+  const auto naive = rtnn::engine::make_backend("fastrnn");
+  naive->set_points(points);
+  rtnn::engine::SearchBackend::Report naive_report;
+  naive->search(queries, params, &naive_report);
   std::cout << "Naive mapping IS calls: " << naive_report.stats.is_calls
             << " (optimized: " << report.stats.is_calls << ")\n";
+
+  // 6. AutoBackend picks the substrate per call from the cost model and
+  //    the measured workload density.
+  const auto auto_backend = rtnn::engine::make_backend("auto");
+  auto_backend->set_points(points);
+  auto_backend->search(queries, params);
+  std::cout << "AutoBackend dispatched to: "
+            << static_cast<rtnn::engine::AutoBackend*>(auto_backend.get())->last_choice()
+            << '\n';
   return 0;
 }

@@ -4,8 +4,9 @@
 // which uses cuNSearch) call a fixed-radius neighbor search every timestep
 // to evaluate kernel sums. This example runs a miniature dam-break:
 // a block of fluid particles under gravity with a weakly-compressible
-// equation of state, using RTNN's range search for the neighbor lists and
-// re-running the search as particles move.
+// equation of state, using the engine layer's AutoBackend for the neighbor
+// lists — the backend re-dispatches per step as the particle distribution
+// evolves — and re-running the search as particles move.
 //
 //   ./sph_fluid [num_particles] [steps]
 #include <algorithm>
@@ -14,6 +15,7 @@
 #include <iostream>
 #include <vector>
 
+#include "engine/engine.hpp"
 #include "rtnn/rtnn.hpp"
 
 namespace {
@@ -72,14 +74,14 @@ int main(int argc, char** argv) {
   params.radius = kSupport;
   params.k = kMaxNeighbors;
 
-  rtnn::NeighborSearch search;
+  const auto search = rtnn::engine::make_backend("auto");
   double search_seconds = 0.0;
   for (int step = 0; step < steps; ++step) {
     // Neighbor lists for this configuration (the per-timestep search that
     // dominates SPH runtime).
-    search.set_points(pos);
-    rtnn::NeighborSearch::Report report;
-    const rtnn::NeighborResult neighbors = search.search(pos, params, &report);
+    search->set_points(pos);
+    rtnn::engine::SearchBackend::Report report;
+    const rtnn::NeighborResult neighbors = search->search(pos, params, &report);
     search_seconds += report.time.total();
 
     // Density + pressure from neighbor sums.

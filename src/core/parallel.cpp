@@ -42,7 +42,7 @@ void set_num_threads(int n) {
 namespace detail {
 
 void parallel_for_impl(std::int64_t begin, std::int64_t end, std::int64_t grain,
-                       const std::function<void(std::int64_t, std::int64_t)>& body) {
+                       RangeBodyRef body) {
   const std::int64_t n = end - begin;
   if (n <= 0) return;
   const int workers = num_threads();

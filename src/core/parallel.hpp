@@ -11,7 +11,7 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
+#include <type_traits>
 #include <vector>
 
 namespace rtnn {
@@ -25,8 +25,29 @@ int num_threads();
 void set_num_threads(int n);
 
 namespace detail {
+
+/// Non-owning reference to a `void(int64_t lo, int64_t hi)` callable. The
+/// dispatch loop crosses a TU boundary, but the body must not be copied
+/// into a std::function on the hot path — launches issue many tiny loops.
+class RangeBodyRef {
+ public:
+  template <typename Body>
+    requires(!std::is_same_v<std::remove_cvref_t<Body>, RangeBodyRef>)
+  RangeBodyRef(Body&& body)  // NOLINT(google-explicit-constructor)
+      : obj_(const_cast<void*>(static_cast<const void*>(&body))),
+        invoke_([](void* obj, std::int64_t lo, std::int64_t hi) {
+          (*static_cast<std::remove_reference_t<Body>*>(obj))(lo, hi);
+        }) {}
+
+  void operator()(std::int64_t lo, std::int64_t hi) const { invoke_(obj_, lo, hi); }
+
+ private:
+  void* obj_;
+  void (*invoke_)(void*, std::int64_t, std::int64_t);
+};
+
 void parallel_for_impl(std::int64_t begin, std::int64_t end, std::int64_t grain,
-                       const std::function<void(std::int64_t, std::int64_t)>& body);
+                       RangeBodyRef body);
 }  // namespace detail
 
 /// Invokes `body(i)` for every i in [begin, end), split across threads.
@@ -46,7 +67,7 @@ void parallel_for(std::int64_t begin, std::int64_t end, Body&& body,
 template <typename Body>
 void parallel_for_chunks(std::int64_t begin, std::int64_t end, Body&& body,
                          std::int64_t grain = 1024) {
-  detail::parallel_for_impl(begin, end, grain, std::function<void(std::int64_t, std::int64_t)>(body));
+  detail::parallel_for_impl(begin, end, grain, body);
 }
 
 /// Parallel reduction: result = reduce over i of map(i), combined with `op`.

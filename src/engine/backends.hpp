@@ -1,0 +1,106 @@
+// SearchBackend adapters over the five search implementations in this
+// repo: exhaustive reference, uniform-grid (cuNSearch/FRNN analogs),
+// octree (PCL analog), FastRNN (naive RT mapping), and full RTNN.
+#pragma once
+
+#include <vector>
+
+#include "baselines/brute_force.hpp"
+#include "baselines/grid_knn.hpp"
+#include "baselines/grid_search.hpp"
+#include "baselines/octree.hpp"
+#include "engine/search_backend.hpp"
+
+namespace rtnn::engine {
+
+/// O(N·Q) exhaustive reference ("brute_force").
+class BruteForceBackend final : public SearchBackend {
+ public:
+  std::string_view name() const override { return "brute_force"; }
+  BackendCaps caps() const override { return {.range = true, .knn = true}; }
+  void set_points(std::span<const Vec3> points) override;
+  std::size_t point_count() const override { return points_.size(); }
+  NeighborResult search(std::span<const Vec3> queries, const SearchParams& params,
+                        Report* report) override;
+
+ private:
+  std::vector<Vec3> points_;
+};
+
+/// Uniform-grid search ("grid"): cuNSearch-style cell scan for range
+/// queries, FRNN-style expanding shells for KNN. The grid is keyed by the
+/// search radius, so it is rebuilt lazily when the radius (or mode)
+/// changes between calls.
+class GridBackend final : public SearchBackend {
+ public:
+  std::string_view name() const override { return "grid"; }
+  BackendCaps caps() const override { return {.range = true, .knn = true}; }
+  void set_points(std::span<const Vec3> points) override;
+  std::size_t point_count() const override { return points_.size(); }
+  NeighborResult search(std::span<const Vec3> queries, const SearchParams& params,
+                        Report* report) override;
+
+ private:
+  std::vector<Vec3> points_;
+  baselines::GridRangeSearch range_;
+  baselines::GridKnn knn_;
+  float range_radius_ = -1.0f;  // radius the structure was built for
+  float knn_radius_ = -1.0f;
+};
+
+/// Octree search ("octree"), the PCL analog. Built once per point set.
+class OctreeBackend final : public SearchBackend {
+ public:
+  std::string_view name() const override { return "octree"; }
+  BackendCaps caps() const override { return {.range = true, .knn = true}; }
+  void set_points(std::span<const Vec3> points) override;
+  std::size_t point_count() const override { return points_.size(); }
+  NeighborResult search(std::span<const Vec3> queries, const SearchParams& params,
+                        Report* report) override;
+
+ private:
+  std::vector<Vec3> points_;
+  baselines::Octree octree_;
+  bool built_ = false;
+};
+
+/// The naive RT-core mapping ("fastrnn"): one monolithic BVH, input query
+/// order, no partitioning or bundling — Evangelou et al.'s prior art. KNN
+/// only, like the original.
+class FastRnnBackend final : public SearchBackend {
+ public:
+  std::string_view name() const override { return "fastrnn"; }
+  BackendCaps caps() const override { return {.knn = true, .launch_stats = true}; }
+  void set_points(std::span<const Vec3> points) override { search_.set_points(points); }
+  std::size_t point_count() const override { return search_.point_count(); }
+  NeighborResult search(std::span<const Vec3> queries, const SearchParams& params,
+                        Report* report) override;
+
+ private:
+  NeighborSearch search_;
+};
+
+/// Full RTNN ("rtnn"): scheduling + partitioning + bundling, as configured
+/// by params.opts, including the approximate-search knobs.
+class RtnnBackend final : public SearchBackend {
+ public:
+  std::string_view name() const override { return "rtnn"; }
+  BackendCaps caps() const override {
+    return {.range = true, .knn = true, .approximate = true, .launch_stats = true};
+  }
+  void set_points(std::span<const Vec3> points) override { search_.set_points(points); }
+  std::size_t point_count() const override { return search_.point_count(); }
+  NeighborResult search(std::span<const Vec3> queries, const SearchParams& params,
+                        Report* report) override {
+    return search_.search(queries, params, report);
+  }
+
+  /// Supplies a calibrated cost model for bundling decisions.
+  void set_cost_model(const CostModel& model) { search_.set_cost_model(model); }
+  NeighborSearch& core() { return search_; }
+
+ private:
+  NeighborSearch search_;
+};
+
+}  // namespace rtnn::engine

@@ -1,0 +1,19 @@
+// Umbrella header for the engine layer.
+//
+//   #include "engine/engine.hpp"
+//
+//   auto backend = rtnn::engine::make_backend("auto");
+//   backend->set_points(points);
+//   rtnn::SearchParams params;
+//   params.mode = rtnn::SearchMode::kKnn;
+//   params.radius = 0.05f;
+//   params.k = 16;
+//   rtnn::NeighborResult result = backend->search(queries, params);
+//
+// See README.md for the SearchBackend contract.
+#pragma once
+
+#include "engine/auto_backend.hpp"
+#include "engine/backends.hpp"
+#include "engine/registry.hpp"
+#include "engine/search_backend.hpp"

@@ -1,0 +1,44 @@
+// By-name construction of SearchBackends.
+//
+// The built-in backends (brute_force, grid, octree, fastrnn, rtnn, auto)
+// are registered when the registry is first touched; applications may add
+// their own factories (or shadow a built-in) with add().
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/search_backend.hpp"
+
+namespace rtnn::engine {
+
+class BackendRegistry {
+ public:
+  using Factory = std::function<std::unique_ptr<SearchBackend>()>;
+
+  /// The process-wide registry, with the built-ins pre-registered.
+  static BackendRegistry& instance();
+
+  /// Registers (or replaces) a factory under `name`.
+  void add(const std::string& name, Factory factory);
+
+  bool contains(std::string_view name) const;
+
+  /// Constructs a fresh backend; throws rtnn::Error for unknown names.
+  std::unique_ptr<SearchBackend> create(std::string_view name) const;
+
+  /// Registered names, sorted.
+  std::vector<std::string> names() const;
+
+ private:
+  BackendRegistry();
+
+  std::vector<std::pair<std::string, Factory>> factories_;
+};
+
+/// Shorthand for BackendRegistry::instance().create(name).
+std::unique_ptr<SearchBackend> make_backend(std::string_view name);
+
+}  // namespace rtnn::engine

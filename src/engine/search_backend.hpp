@@ -1,0 +1,74 @@
+// The engine layer: one neighbor-search contract, many substrates.
+//
+// The paper frames neighbor search as a single bounded interface — radius
+// r, neighbor cap K, range or KNN mode — served by interchangeable
+// implementations (RT-core mapping, classic GPU grids, trees, exhaustive
+// search). SearchBackend is that contract: every implementation in this
+// repo adapts to it, BackendRegistry constructs them by name, and
+// AutoBackend dispatches per call using the calibrated cost model plus
+// workload statistics.
+//
+// Contract:
+//   * set_points() uploads the point set; it may be called repeatedly and
+//     invalidates any previously built structure.
+//   * search() answers `queries` under `params` (same SearchParams as the
+//     RTNN core — mode, radius, k). Backends build their spatial index
+//     lazily on first search (and rebuild when the radius changes, for
+//     radius-keyed structures), so a Report captures build cost in
+//     time.bvh, and pure query cost in time.search.
+//   * Results use NeighborResult's bounded layout: at most K slots per
+//     query. For range search with more than K true neighbors, *which* K
+//     are returned is backend-defined (any within-radius subset is valid);
+//     KNN results are the K nearest, ascending by distance.
+//   * caps() declares what the backend honors; callers must not request a
+//     mode (or approximation knob) the backend does not support.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string_view>
+
+#include "core/neighbor_result.hpp"
+#include "core/vec3.hpp"
+#include "rtnn/neighbor_search.hpp"
+#include "rtnn/types.hpp"
+
+namespace rtnn::engine {
+
+/// What a backend supports. Callers gate on these instead of hard-coding
+/// backend names (e.g. cuNSearch-style grids are range-only, FastRNN is
+/// KNN-only).
+struct BackendCaps {
+  bool range = false;
+  bool knn = false;
+  /// Honors the approximate-search knobs (aabb_scale, elide_sphere_test).
+  /// Backends without this flag answer exactly and ignore the knobs.
+  bool approximate = false;
+  /// Fills the launch statistics (IS calls, node visits) of the Report;
+  /// every backend fills the phase timings.
+  bool launch_stats = false;
+};
+
+class SearchBackend {
+ public:
+  using Report = NeighborSearch::Report;
+
+  virtual ~SearchBackend() = default;
+
+  /// Stable identifier; the name the backend is registered under.
+  virtual std::string_view name() const = 0;
+
+  virtual BackendCaps caps() const = 0;
+
+  /// Uploads the search points. Invalidates prior structures.
+  virtual void set_points(std::span<const Vec3> points) = 0;
+
+  virtual std::size_t point_count() const = 0;
+
+  /// Runs a neighbor search. `report`, when non-null, receives phase
+  /// timings (and launch statistics when caps().launch_stats).
+  virtual NeighborResult search(std::span<const Vec3> queries, const SearchParams& params,
+                                Report* report = nullptr) = 0;
+};
+
+}  // namespace rtnn::engine

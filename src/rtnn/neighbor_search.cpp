@@ -1,15 +1,11 @@
 #include "rtnn/neighbor_search.hpp"
 
-#include <cmath>
 #include <numeric>
 
 #include "core/error.hpp"
 #include "core/flat_knn.hpp"
-#include "core/log.hpp"
-#include "core/parallel.hpp"
 #include "rtnn/partitioner.hpp"
-#include "rtnn/pipelines.hpp"
-#include "rtnn/scheduler.hpp"
+#include "rtnn/stages.hpp"
 
 namespace rtnn {
 
@@ -18,215 +14,80 @@ void NeighborSearch::set_points(std::span<const Vec3> points) {
   grid_valid_ = false;
 }
 
-ox::Accel NeighborSearch::build_accel_width(float aabb_width, TimeBreakdown& time) const {
-  // AABB generation is part of the build (Listing 1, buildBVH).
-  Timer timer;
-  std::vector<Aabb> aabbs(points_.size());
-  parallel_for(0, static_cast<std::int64_t>(points_.size()), [&](std::int64_t i) {
-    aabbs[static_cast<std::size_t>(i)] =
-        Aabb::cube(points_[static_cast<std::size_t>(i)], aabb_width);
-  });
-  const ox::Context ctx;
-  ox::Accel accel = ctx.build_accel(aabbs);
-  time.bvh += timer.elapsed();
-  return accel;
-}
-
 PartitionSet NeighborSearch::partition(std::span<const Vec3> queries,
                                        std::span<const std::uint32_t> order,
                                        const SearchParams& params) const {
-  if (!grid_valid_) {
-    // Cap the grid at ~128 cells per point: far finer cells cannot sharpen
-    // the megacell estimate and the SAT would dominate small datasets.
-    const std::uint64_t useful =
-        std::max<std::uint64_t>(4096, 128 * static_cast<std::uint64_t>(points_.size()));
-    grid_.build(points_, std::min(params.max_grid_cells, useful));
-    grid_valid_ = true;
-  }
+  ensure_grid_built(points_, params, grid_, grid_valid_);
   return partition_queries(grid_, queries, order, params);
 }
 
-void NeighborSearch::run_launch(const ox::Accel& accel, const LaunchPlan::Unit& unit,
-                                std::span<const Vec3> queries, const SearchParams& params,
-                                NeighborResult* range_result, FlatKnnHeaps* knn_heaps,
-                                Report& report) const {
-  Timer timer;
-  ox::LaunchOptions options;
-  options.model = params.simt_launches ? ox::ExecutionModel::kWarpLockstep
-                                       : ox::ExecutionModel::kIndependent;
-  const auto width = static_cast<std::uint32_t>(unit.query_ids.size());
-  if (params.mode == SearchMode::kRange) {
-    const bool skip_test = unit.skip_sphere_test || params.elide_sphere_test;
-    pipelines::RangePipeline pipeline(points_, queries, unit.query_ids, params.radius,
-                                      params.k, skip_test, *range_result);
-    report.stats += ox::launch(accel, pipeline, width, options);
-  } else {
-    struct FlatKnnAdapter {
-      std::span<const Vec3> points;
-      std::span<const Vec3> queries;
-      std::span<const std::uint32_t> query_ids;
-      float r2;
-      FlatKnnHeaps* heaps;
-      Ray raygen(std::uint32_t i) const { return Ray::short_ray(queries[query_ids[i]]); }
-      ox::TraceAction intersection(std::uint32_t i, std::uint32_t prim) {
-        const std::uint32_t query = query_ids[i];
-        const float d2 = distance2(points[prim], queries[query]);
-        if (d2 <= r2 && d2 < heaps->worst_dist2(query)) heaps->push(query, d2, prim);
-        return ox::TraceAction::kContinue;
-      }
-    };
-    FlatKnnAdapter pipeline{points_, queries, unit.query_ids,
-                            params.radius * params.radius, knn_heaps};
-    report.stats += ox::launch(accel, pipeline, width, options);
-  }
-  report.time.search += timer.elapsed();
-}
-
-NeighborResult NeighborSearch::search(std::span<const Vec3> queries,
-                                      const SearchParams& params, Report* report_out) {
+void NeighborSearch::init_context(SearchContext& ctx, std::span<const Vec3> queries,
+                                  const SearchParams& params) const {
   RTNN_CHECK(!points_.empty(), "set_points() before search()");
   RTNN_CHECK(params.radius > 0.0f, "radius must be positive");
   RTNN_CHECK(params.k > 0, "K must be positive");
-  Report report;
-
-  // Data phase: queries land in device memory.
-  std::vector<Vec3> dev_queries;
-  {
-    Timer timer;
-    dev_queries.assign(queries.begin(), queries.end());
-    report.time.data += timer.elapsed();
-  }
-
-  // Global BVH (AABB width 2r): needed by the naive path and by the
-  // scheduling pre-pass.
   RTNN_CHECK(params.aabb_scale > 0.0f && params.aabb_scale <= 1.0f,
              "aabb_scale must be in (0, 1]");
   RTNN_CHECK(!params.elide_sphere_test || params.mode == SearchMode::kRange,
              "elide_sphere_test applies to range search only");
-  const float base_width = 2.0f * params.radius * params.aabb_scale;
-  ox::Accel global_accel;
-  const bool need_global = params.opts.scheduling || !params.opts.partitioning;
-  if (need_global) global_accel = build_accel_width(base_width, report.time);
 
-  // --- Query scheduling (section 4) ---
-  std::vector<std::uint32_t> order(dev_queries.size());
-  std::iota(order.begin(), order.end(), 0u);
-  if (params.opts.scheduling) {
-    ScheduleResult sched = schedule_queries(global_accel, points_, dev_queries,
-                                            params.simt_launches);
-    order = std::move(sched.order);
-    report.first_hit_stats = sched.first_hit_stats;
-    report.time.first_search += sched.first_hit_seconds;
-    report.time.opt += sched.sort_seconds;
-  }
+  ctx.points = points_;
+  ctx.params = params;
+  ctx.cost_model = &cost_model_;
+  ctx.grid = &grid_;
+  ctx.grid_valid = &grid_valid_;
+  ctx.base_width = 2.0f * params.radius * params.aabb_scale;
 
-  // --- Query partitioning + bundling (section 5) ---
-  LaunchPlan launch_plan;
-  if (params.opts.partitioning) {
-    Timer opt_timer;
-    const PartitionSet parts = partition(dev_queries, order, params);
-    report.time.opt += parts.seconds;
-    report.num_partitions = static_cast<std::uint32_t>(parts.partitions.size());
+  // Data phase: queries land in device memory.
+  Timer timer;
+  ctx.queries.assign(queries.begin(), queries.end());
+  ctx.order.resize(ctx.queries.size());
+  std::iota(ctx.order.begin(), ctx.order.end(), 0u);
+  ctx.report.time.data += timer.elapsed();
+}
 
-    BundlePlan plan;
-    if (params.opts.bundling) {
-      // Paper: absent offline profiling, fall back to Listing 3.
-      plan = plan_bundles(parts, points_.size(), params, cost_model_);
-    } else {
-      plan = unbundled_plan(parts, params);
-    }
-    report.num_bundles = static_cast<std::uint32_t>(plan.bundles.size());
-    report.predicted_bundle_cost = plan.predicted_seconds;
-
-    for (const Bundle& bundle : plan.bundles) {
-      LaunchPlan::Unit unit;
-      unit.aabb_width = bundle.aabb_width;
-      unit.skip_sphere_test = bundle.skip_sphere_test;
-      std::size_t total = 0;
-      for (const std::uint32_t pi : bundle.partition_indices) {
-        total += parts.partitions[pi].query_ids.size();
-      }
-      unit.query_ids.reserve(total);
-      for (const std::uint32_t pi : bundle.partition_indices) {
-        const auto& ids = parts.partitions[pi].query_ids;
-        unit.query_ids.insert(unit.query_ids.end(), ids.begin(), ids.end());
-      }
-      launch_plan.units.push_back(std::move(unit));
-    }
-    report.time.opt += opt_timer.elapsed() - parts.seconds;  // bundling/bucketing time
-  } else {
-    LaunchPlan::Unit unit;
-    unit.aabb_width = base_width;
-    unit.skip_sphere_test = false;
-    unit.query_ids = std::move(order);
-    launch_plan.units.push_back(std::move(unit));
-  }
-
-  // --- Launches ---
-  NeighborResult range_result;
-  std::unique_ptr<FlatKnnHeaps> knn_heaps;
-  if (params.mode == SearchMode::kRange) {
-    range_result = NeighborResult(dev_queries.size(), params.k, params.store_indices);
-  } else {
-    knn_heaps = std::make_unique<FlatKnnHeaps>(dev_queries.size(), params.k);
-  }
-
-  for (const auto& unit : launch_plan.units) {
-    if (unit.query_ids.empty()) continue;
-    // Approximation: shrink partition widths by aabb_scale too.
-    const float width = unit.aabb_width * params.aabb_scale;
-    // Reuse the global base-width BVH when a launch unit needs exactly it
-    // (the unpartitioned path, and the sparse-fallback bundle).
-    const bool reuse_global =
-        global_accel.built() &&
-        std::abs(width - base_width) <= 1e-6f * params.radius;
-    const ox::Accel accel =
-        reuse_global ? global_accel : build_accel_width(width, report.time);
-    run_launch(accel, unit, dev_queries, params, &range_result, knn_heaps.get(), report);
-  }
-
-  NeighborResult result = (params.mode == SearchMode::kRange)
-                              ? std::move(range_result)
-                              : knn_heaps->extract(params.store_indices);
-  if (report_out) *report_out = report;
+NeighborResult NeighborSearch::finish_context(SearchContext& ctx, Report* report_out) {
+  NeighborResult result = (ctx.params.mode == SearchMode::kRange)
+                              ? std::move(ctx.range_result)
+                              : ctx.knn_heaps->extract(ctx.params.store_indices);
+  if (report_out) *report_out = ctx.report;
   return result;
+}
+
+NeighborResult NeighborSearch::run_stages(std::span<const Vec3> queries,
+                                          const SearchParams& params,
+                                          std::span<const std::unique_ptr<SearchStage>> stages,
+                                          Report* report_out) {
+  SearchContext ctx;
+  init_context(ctx, queries, params);
+  for (const auto& stage : stages) stage->run(ctx);
+  RTNN_CHECK(ctx.range_result.num_queries() == ctx.queries.size() || ctx.knn_heaps,
+             "pipeline must end in a LaunchStage");
+  return finish_context(ctx, report_out);
+}
+
+NeighborResult NeighborSearch::search(std::span<const Vec3> queries,
+                                      const SearchParams& params, Report* report_out) {
+  const auto stages = make_pipeline(params.opts);
+  return run_stages(queries, params, stages, report_out);
 }
 
 NeighborResult NeighborSearch::search_with_plan(std::span<const Vec3> queries,
                                                 const SearchParams& params,
                                                 const PartitionSet& partitions,
                                                 const BundlePlan& plan, Report* report_out) {
-  RTNN_CHECK(!points_.empty(), "set_points() before search()");
-  Report report;
-  report.num_partitions = static_cast<std::uint32_t>(partitions.partitions.size());
-  report.num_bundles = static_cast<std::uint32_t>(plan.bundles.size());
-
-  NeighborResult range_result;
-  std::unique_ptr<FlatKnnHeaps> knn_heaps;
-  if (params.mode == SearchMode::kRange) {
-    range_result = NeighborResult(queries.size(), params.k, params.store_indices);
-  } else {
-    knn_heaps = std::make_unique<FlatKnnHeaps>(queries.size(), params.k);
-  }
-
-  for (const Bundle& bundle : plan.bundles) {
-    LaunchPlan::Unit unit;
-    unit.aabb_width = bundle.aabb_width;
-    unit.skip_sphere_test = bundle.skip_sphere_test;
-    for (const std::uint32_t pi : bundle.partition_indices) {
-      const auto& ids = partitions.partitions[pi].query_ids;
-      unit.query_ids.insert(unit.query_ids.end(), ids.begin(), ids.end());
-    }
-    if (unit.query_ids.empty()) continue;
-    const ox::Accel accel = build_accel_width(unit.aabb_width, report.time);
-    run_launch(accel, unit, queries, params, &range_result, knn_heaps.get(), report);
-  }
-
-  NeighborResult result = (params.mode == SearchMode::kRange)
-                              ? std::move(range_result)
-                              : knn_heaps->extract(params.store_indices);
-  if (report_out) *report_out = report;
-  return result;
+  SearchContext ctx;
+  init_context(ctx, queries, params);
+  // Inject the caller's partitioning + plan; its widths are final.
+  ctx.partitions = partitions;
+  ctx.partitioned = true;
+  ctx.plan = plan;
+  ctx.planned = true;
+  ctx.scale_launch_widths = false;
+  ctx.report.num_partitions = static_cast<std::uint32_t>(partitions.partitions.size());
+  ctx.report.num_bundles = static_cast<std::uint32_t>(plan.bundles.size());
+  LaunchStage().run(ctx);
+  return finish_context(ctx, report_out);
 }
 
 NeighborResult search(std::span<const Vec3> points, std::span<const Vec3> queries,

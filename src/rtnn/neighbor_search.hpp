@@ -4,20 +4,22 @@
 //
 //   set_points()           — upload points to "device" memory   [Data]
 //   search():
-//     build global BVH (AABB width 2r)                          [BVH]
-//     scheduling:   first-hit cast (K=1)                        [FS]
-//                   Morton sort of queries                      [Opt]
-//     partitioning: megacell growth on a uniform grid,
-//                   bucket queries by megacell width            [Opt]
-//     bundling:     cost-model scan over partition bundlings    [Opt]
-//     per bundle:   build its BVH (width = bundle AABB width)   [BVH]
-//                   launch the range/KNN pipeline               [Search]
+//     ScheduleStage:  first-hit cast (K=1) + Morton sort        [FS/Opt]
+//     PartitionStage: megacell growth on a uniform grid,
+//                     bucket queries by megacell width          [Opt]
+//     BundleStage:    cost-model scan over partition bundlings  [Opt]
+//     LaunchStage:    per-bundle BVH build (width = bundle AABB
+//                     width) + chunked range/KNN launches       [BVH/Search]
 //
+// search() assembles the stage list from the OptimizationFlags and runs
+// it over a SearchContext (see rtnn/stages.hpp); run_stages() accepts a
+// caller-built stage list so ablations can compose their own pipelines.
 // With all optimizations disabled this degenerates to the naive mapping of
 // section 3 (also exposed as the FastRNN baseline).
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -33,6 +35,8 @@
 namespace rtnn {
 
 class FlatKnnHeaps;
+class SearchStage;
+struct SearchContext;
 
 class NeighborSearch {
  public:
@@ -60,9 +64,17 @@ class NeighborSearch {
 
   std::size_t point_count() const { return points_.size(); }
 
-  /// Runs a neighbor search for `queries` under `params`.
+  /// Runs a neighbor search for `queries` under `params`, assembling the
+  /// stage pipeline from `params.opts`.
   NeighborResult search(std::span<const Vec3> queries, const SearchParams& params,
                         Report* report = nullptr);
+
+  /// Runs a caller-assembled stage pipeline (see rtnn/stages.hpp). This is
+  /// how the Figure-13 ablations and engine-layer experiments drive the
+  /// schedule/partition/bundle/launch steps as real objects.
+  NeighborResult run_stages(std::span<const Vec3> queries, const SearchParams& params,
+                            std::span<const std::unique_ptr<SearchStage>> stages,
+                            Report* report = nullptr);
 
   /// Runs a search with an externally chosen bundle plan (used by the
   /// Oracle ablation of Figure 13, which exhaustively tries plans).
@@ -77,21 +89,11 @@ class NeighborSearch {
                          const SearchParams& params) const;
 
  private:
-  struct LaunchPlan {
-    // Per launch unit: query ids (already ordered), AABB width, flags.
-    struct Unit {
-      std::vector<std::uint32_t> query_ids;
-      float aabb_width = 0.0f;
-      bool skip_sphere_test = false;
-    };
-    std::vector<Unit> units;
-  };
-
-  ox::Accel build_accel_width(float aabb_width, TimeBreakdown& time) const;
-  void run_launch(const ox::Accel& accel, const LaunchPlan::Unit& unit,
-                  std::span<const Vec3> queries, const SearchParams& params,
-                  NeighborResult* range_result, FlatKnnHeaps* knn_heaps,
-                  Report& report) const;
+  /// Populates a SearchContext's inputs and charges the query upload to
+  /// the Data phase.
+  void init_context(SearchContext& ctx, std::span<const Vec3> queries,
+                    const SearchParams& params) const;
+  static NeighborResult finish_context(SearchContext& ctx, Report* report_out);
 
   std::vector<Vec3> points_;  // the "device" copy
   CostModel cost_model_{};

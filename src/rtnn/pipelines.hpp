@@ -16,7 +16,7 @@
 #include <span>
 
 #include "core/aabb.hpp"
-#include "core/knn_heap.hpp"
+#include "core/flat_knn.hpp"
 #include "core/neighbor_result.hpp"
 #include "core/vec3.hpp"
 #include "optix/optix.hpp"
@@ -73,16 +73,15 @@ class RangePipeline {
 /// traversal work than range search; paper section 6.3).
 class KnnPipeline {
  public:
+  /// Heap capacity (the K bound) lives in the heap pool; launch setup
+  /// asserts it matches `SearchParams::k` before constructing pipelines.
   KnnPipeline(std::span<const Vec3> points, std::span<const Vec3> queries,
-              std::span<const std::uint32_t> query_ids, float radius, std::uint32_t k,
-              std::span<KnnHeap> heaps)
+              std::span<const std::uint32_t> query_ids, float radius, FlatKnnHeaps& heaps)
       : points_(points),
         queries_(queries),
         query_ids_(query_ids),
         radius2_(radius * radius),
-        heaps_(heaps) {
-    (void)k;  // capacity lives in the heap pool
-  }
+        heaps_(&heaps) {}
 
   Ray raygen(std::uint32_t index) const {
     return Ray::short_ray(queries_[query_ids_[index]]);
@@ -91,8 +90,7 @@ class KnnPipeline {
   ox::TraceAction intersection(std::uint32_t index, std::uint32_t prim) {
     const std::uint32_t query = query_ids_[index];
     const float d2 = distance2(points_[prim], queries_[query]);
-    KnnHeap& heap = heaps_[query];
-    if (d2 <= radius2_ && d2 < heap.worst_dist2()) heap.push(d2, prim);
+    if (d2 <= radius2_ && d2 < heaps_->worst_dist2(query)) heaps_->push(query, d2, prim);
     return ox::TraceAction::kContinue;
   }
 
@@ -101,7 +99,7 @@ class KnnPipeline {
   std::span<const Vec3> queries_;
   std::span<const std::uint32_t> query_ids_;
   float radius2_;
-  std::span<KnnHeap> heaps_;
+  FlatKnnHeaps* heaps_;
 };
 
 /// The scheduling pre-pass of paper Listing 2: "initial search with K=1"

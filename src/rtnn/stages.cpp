@@ -1,0 +1,200 @@
+#include "rtnn/stages.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.hpp"
+#include "core/parallel.hpp"
+#include "rtnn/partitioner.hpp"
+#include "rtnn/pipelines.hpp"
+#include "rtnn/scheduler.hpp"
+
+namespace rtnn {
+
+void ensure_grid_built(std::span<const Vec3> points, const SearchParams& params,
+                       GridIndex& grid, bool& valid) {
+  if (valid) return;
+  // Cap the grid at ~128 cells per point: far finer cells cannot sharpen
+  // the megacell estimate and the SAT would dominate small datasets.
+  const std::uint64_t useful =
+      std::max<std::uint64_t>(4096, 128 * static_cast<std::uint64_t>(points.size()));
+  grid.build(points, std::min(params.max_grid_cells, useful));
+  valid = true;
+}
+
+ox::Accel SearchContext::build_accel_width(float aabb_width) {
+  // AABB generation is part of the build (Listing 1, buildBVH).
+  Timer timer;
+  std::vector<Aabb> aabbs(points.size());
+  parallel_for(0, static_cast<std::int64_t>(points.size()), [&](std::int64_t i) {
+    aabbs[static_cast<std::size_t>(i)] =
+        Aabb::cube(points[static_cast<std::size_t>(i)], aabb_width);
+  });
+  const ox::Context ctx;
+  ox::Accel accel = ctx.build_accel(aabbs);
+  report.time.bvh += timer.elapsed();
+  return accel;
+}
+
+const ox::Accel& SearchContext::acquire_global_accel() {
+  if (!global_accel.built()) global_accel = build_accel_width(base_width);
+  return global_accel;
+}
+
+void ScheduleStage::run(SearchContext& ctx) {
+  ScheduleResult sched = schedule_queries(ctx.acquire_global_accel(), ctx.points,
+                                          ctx.queries, ctx.params.simt_launches);
+  ctx.order = std::move(sched.order);
+  ctx.report.first_hit_stats = sched.first_hit_stats;
+  ctx.report.time.first_search += sched.first_hit_seconds;
+  ctx.report.time.opt += sched.sort_seconds;
+}
+
+void PartitionStage::run(SearchContext& ctx) {
+  RTNN_CHECK(ctx.grid != nullptr && ctx.grid_valid != nullptr,
+             "PartitionStage needs the owner's grid cache");
+  ensure_grid_built(ctx.points, ctx.params, *ctx.grid, *ctx.grid_valid);
+  ctx.partitions = partition_queries(*ctx.grid, ctx.queries, ctx.order, ctx.params);
+  ctx.partitioned = true;
+  ctx.report.time.opt += ctx.partitions.seconds;
+  ctx.report.num_partitions = static_cast<std::uint32_t>(ctx.partitions.partitions.size());
+}
+
+void BundleStage::run(SearchContext& ctx) {
+  RTNN_CHECK(ctx.partitioned, "BundleStage requires PartitionStage output");
+  Timer timer;
+  if (use_cost_model_) {
+    RTNN_CHECK(ctx.cost_model != nullptr, "BundleStage needs a cost model");
+    // Paper: absent offline profiling, fall back to Listing 3.
+    ctx.plan = plan_bundles(ctx.partitions, ctx.points.size(), ctx.params, *ctx.cost_model);
+  } else {
+    ctx.plan = unbundled_plan(ctx.partitions, ctx.params);
+  }
+  ctx.planned = true;
+  ctx.report.num_bundles = static_cast<std::uint32_t>(ctx.plan.bundles.size());
+  ctx.report.predicted_bundle_cost = ctx.plan.predicted_seconds;
+  ctx.report.time.opt += timer.elapsed();
+}
+
+void LaunchStage::launch_chunk(SearchContext& ctx, const ox::Accel& accel,
+                               std::span<const std::uint32_t> ids, bool skip_sphere_test) {
+  Timer timer;
+  ox::LaunchOptions options;
+  options.model = ctx.params.simt_launches ? ox::ExecutionModel::kWarpLockstep
+                                           : ox::ExecutionModel::kIndependent;
+  const auto width = static_cast<std::uint32_t>(ids.size());
+  if (ctx.params.mode == SearchMode::kRange) {
+    const bool skip_test = skip_sphere_test || ctx.params.elide_sphere_test;
+    pipelines::RangePipeline pipeline(ctx.points, ctx.queries, ids, ctx.params.radius,
+                                      ctx.params.k, skip_test, ctx.range_result);
+    ctx.report.stats += ox::launch(accel, pipeline, width, options);
+  } else {
+    pipelines::KnnPipeline pipeline(ctx.points, ctx.queries, ids, ctx.params.radius,
+                                    *ctx.knn_heaps);
+    ctx.report.stats += ox::launch(accel, pipeline, width, options);
+  }
+  ctx.report.time.search += timer.elapsed();
+}
+
+void LaunchStage::launch_unit(SearchContext& ctx, const ox::Accel& accel,
+                              const Unit& unit) {
+  // Stream the unit's ids through fixed-size chunks. Partition id lists
+  // are consumed as views; only the scratch chunk is ever materialized.
+  std::size_t total = 0;
+  for (const auto& span : unit.id_spans) total += span.size();
+
+  if (unit.id_spans.size() == 1 && total <= kChunkSize) {
+    launch_chunk(ctx, accel, unit.id_spans.front(), unit.skip_sphere_test);
+    return;
+  }
+
+  std::vector<std::uint32_t> chunk;
+  chunk.reserve(std::min(total, kChunkSize));
+  for (const auto& span : unit.id_spans) {
+    std::size_t offset = 0;
+    while (offset < span.size()) {
+      const std::size_t take = std::min(kChunkSize - chunk.size(), span.size() - offset);
+      chunk.insert(chunk.end(), span.begin() + offset, span.begin() + offset + take);
+      offset += take;
+      if (chunk.size() == kChunkSize) {
+        launch_chunk(ctx, accel, chunk, unit.skip_sphere_test);
+        chunk.clear();
+      }
+    }
+  }
+  if (!chunk.empty()) launch_chunk(ctx, accel, chunk, unit.skip_sphere_test);
+}
+
+void LaunchStage::run(SearchContext& ctx) {
+  // Result storage: one K-slot row per query, written by the pipelines.
+  if (ctx.params.mode == SearchMode::kRange) {
+    ctx.range_result =
+        NeighborResult(ctx.queries.size(), ctx.params.k, ctx.params.store_indices);
+  } else if (!ctx.knn_heaps) {
+    ctx.knn_heaps = std::make_unique<FlatKnnHeaps>(ctx.queries.size(), ctx.params.k);
+  } else {
+    // A caller-supplied heap pool must match the K bound the pipelines
+    // will assume (the check KnnPipeline's dropped `k` parameter became).
+    RTNN_CHECK(ctx.knn_heaps->k() == ctx.params.k,
+               "KNN heap capacity must match params.k");
+    RTNN_CHECK(ctx.knn_heaps->num_queries() == ctx.queries.size(),
+               "KNN heap pool must cover every query");
+  }
+
+  std::vector<Unit> units;
+  if (ctx.planned) {
+    units.reserve(ctx.plan.bundles.size());
+    for (const Bundle& bundle : ctx.plan.bundles) {
+      Unit unit;
+      unit.aabb_width = bundle.aabb_width;
+      unit.skip_sphere_test = bundle.skip_sphere_test;
+      unit.id_spans.reserve(bundle.partition_indices.size());
+      for (const std::uint32_t pi : bundle.partition_indices) {
+        const auto& ids = ctx.partitions.partitions[pi].query_ids;
+        if (!ids.empty()) unit.id_spans.emplace_back(ids);
+      }
+      // Skip empty bundles (caller-supplied plans may contain them)
+      // before paying their O(N) BVH build.
+      if (!unit.id_spans.empty()) units.push_back(std::move(unit));
+    }
+  } else if (!ctx.order.empty()) {
+    // Unpartitioned: one unit over the (possibly scheduled) order, at the
+    // naive base width.
+    Unit unit;
+    unit.aabb_width = ctx.scale_launch_widths ? 2.0f * ctx.params.radius : ctx.base_width;
+    unit.skip_sphere_test = false;
+    unit.id_spans.emplace_back(ctx.order);
+    units.push_back(std::move(unit));
+  }
+
+  for (const Unit& unit : units) {
+    // Approximation: shrink partition widths by aabb_scale too.
+    const float width =
+        ctx.scale_launch_widths ? unit.aabb_width * ctx.params.aabb_scale : unit.aabb_width;
+    // Share the global base-width BVH across every launch unit that needs
+    // exactly it (the unpartitioned path, and the sparse-fallback bundle).
+    const bool is_base = std::abs(width - ctx.base_width) <= 1e-6f * ctx.params.radius;
+    ox::Accel local;
+    const ox::Accel* accel;
+    if (is_base) {
+      accel = &ctx.acquire_global_accel();
+    } else {
+      local = ctx.build_accel_width(width);
+      accel = &local;
+    }
+    launch_unit(ctx, *accel, unit);
+  }
+}
+
+std::vector<std::unique_ptr<SearchStage>> make_pipeline(const OptimizationFlags& opts) {
+  std::vector<std::unique_ptr<SearchStage>> stages;
+  if (opts.scheduling) stages.push_back(std::make_unique<ScheduleStage>());
+  if (opts.partitioning) {
+    stages.push_back(std::make_unique<PartitionStage>());
+    stages.push_back(std::make_unique<BundleStage>(opts.bundling));
+  }
+  stages.push_back(std::make_unique<LaunchStage>());
+  return stages;
+}
+
+}  // namespace rtnn

@@ -1,0 +1,139 @@
+// The staged query pipeline behind NeighborSearch::search().
+//
+// The paper's end-to-end flow (schedule → partition → bundle → launch,
+// Figure 12's phases) is expressed as composable stage objects sharing one
+// SearchContext. NeighborSearch::search() assembles the stage list from
+// the OptimizationFlags; benches and the Figure-13 ablations assemble
+// their own lists (e.g. swapping BundleStage for an Oracle plan) and run
+// them through NeighborSearch::run_stages() — the ablation axes are real
+// objects, not bool flags threaded through a monolith.
+//
+//   ScheduleStage   first-hit cast + Morton sort → ctx.order        [FS/Opt]
+//   PartitionStage  megacell growth on the cached grid → partitions [Opt]
+//   BundleStage     cost-model scan (or Listing-3 default) → plan   [Opt]
+//   LaunchStage     per-bundle BVH builds + chunked launches        [BVH/Search]
+//
+// LaunchStage streams each launch unit's query ids through fixed-size
+// chunks instead of materializing one concatenated id vector per bundle,
+// so peak memory is O(chunk) rather than O(Q) per unit.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/flat_knn.hpp"
+#include "rtnn/neighbor_search.hpp"
+
+namespace rtnn {
+
+/// Lazily (re)builds the megacell grid for `points` under the
+/// `max_grid_cells` policy shared by PartitionStage and
+/// NeighborSearch::partition(). `valid` is the owner's cache flag.
+void ensure_grid_built(std::span<const Vec3> points, const SearchParams& params,
+                       GridIndex& grid, bool& valid);
+
+/// Everything a search() call accumulates while flowing through the
+/// stages. Inputs are set up by NeighborSearch; each stage reads what the
+/// previous ones produced and appends its own timing to `report`.
+struct SearchContext {
+  // --- Inputs ---
+  std::span<const Vec3> points;
+  std::vector<Vec3> queries;  // the "device" copy
+  SearchParams params{};
+  const CostModel* cost_model = nullptr;
+  GridIndex* grid = nullptr;   // owner's cached grid (PartitionStage builds it)
+  bool* grid_valid = nullptr;
+
+  // --- Evolving state ---
+  float base_width = 0.0f;           // 2r·aabb_scale, the naive AABB width
+  ox::Accel global_accel;            // base-width BVH, built at most once
+  std::vector<std::uint32_t> order;  // query-to-ray mapping (starts as iota)
+  PartitionSet partitions;
+  bool partitioned = false;
+  BundlePlan plan;
+  bool planned = false;
+  /// search_with_plan() injects widths that are final; search() widths are
+  /// still scaled by params.aabb_scale at launch.
+  bool scale_launch_widths = true;
+
+  // --- Outputs ---
+  NeighborResult range_result;
+  std::unique_ptr<FlatKnnHeaps> knn_heaps;
+  NeighborSearch::Report report;
+
+  /// Builds a BVH over `points` with cubic AABBs of `aabb_width`,
+  /// charging the build to report.time.bvh.
+  ox::Accel build_accel_width(float aabb_width);
+
+  /// The base-width BVH shared by the scheduling pre-pass and the
+  /// unpartitioned launch path.
+  const ox::Accel& acquire_global_accel();
+};
+
+/// One step of the search pipeline. Stages are stateless between runs and
+/// reusable across calls; all per-call state lives in the SearchContext.
+class SearchStage {
+ public:
+  virtual ~SearchStage() = default;
+  virtual const char* name() const = 0;
+  virtual void run(SearchContext& ctx) = 0;
+};
+
+/// Section 4: spatially-ordered query scheduling. Rewrites ctx.order.
+class ScheduleStage final : public SearchStage {
+ public:
+  const char* name() const override { return "schedule"; }
+  void run(SearchContext& ctx) override;
+};
+
+/// Section 5.1: megacell partitioning. Fills ctx.partitions.
+class PartitionStage final : public SearchStage {
+ public:
+  const char* name() const override { return "partition"; }
+  void run(SearchContext& ctx) override;
+};
+
+/// Section 5.2: partition bundling. Fills ctx.plan from ctx.partitions —
+/// the cost-model linear scan, or the Listing-3 default (one bundle per
+/// partition) when disabled or the model is uncalibrated.
+class BundleStage final : public SearchStage {
+ public:
+  explicit BundleStage(bool use_cost_model = true) : use_cost_model_(use_cost_model) {}
+  const char* name() const override { return "bundle"; }
+  void run(SearchContext& ctx) override;
+
+ private:
+  bool use_cost_model_;
+};
+
+/// Executes the plan: allocates result storage, builds each launch unit's
+/// BVH (reusing the global one when widths coincide), and streams the
+/// unit's query ids through chunked ox::launch calls.
+class LaunchStage final : public SearchStage {
+ public:
+  /// Queries per launch chunk. Bounds the ray buffer and the id scratch;
+  /// launches wider than this are split (results are row-addressed by
+  /// query id, so splitting is invisible to output).
+  static constexpr std::size_t kChunkSize = std::size_t{1} << 15;
+
+  const char* name() const override { return "launch"; }
+  void run(SearchContext& ctx) override;
+
+ private:
+  struct Unit {
+    std::vector<std::span<const std::uint32_t>> id_spans;  // views, not copies
+    float aabb_width = 0.0f;
+    bool skip_sphere_test = false;
+  };
+
+  void launch_unit(SearchContext& ctx, const ox::Accel& accel, const Unit& unit);
+  void launch_chunk(SearchContext& ctx, const ox::Accel& accel,
+                    std::span<const std::uint32_t> ids, bool skip_sphere_test);
+};
+
+/// The stage list search() runs for the given optimization flags.
+std::vector<std::unique_ptr<SearchStage>> make_pipeline(const OptimizationFlags& opts);
+
+}  // namespace rtnn

@@ -1,0 +1,215 @@
+// Engine-layer tests: registry construction, backend parity against the
+// exhaustive reference, AutoBackend dispatch, and stage-pipeline
+// composition.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "core/rng.hpp"
+#include "engine/engine.hpp"
+#include "rtnn/stages.hpp"
+#include "test_util.hpp"
+
+namespace rtnn::engine {
+namespace {
+
+using rtnn::testing::CloudKind;
+
+constexpr const char* kBuiltins[] = {"auto",    "brute_force", "fastrnn",
+                                     "grid",    "octree",      "rtnn"};
+
+TEST(BackendRegistry, ConstructsEveryBuiltin) {
+  auto& registry = BackendRegistry::instance();
+  const std::vector<std::string> names = registry.names();
+  for (const char* name : kBuiltins) {
+    EXPECT_TRUE(registry.contains(name)) << name;
+    EXPECT_NE(std::find(names.begin(), names.end(), name), names.end()) << name;
+    const std::unique_ptr<SearchBackend> backend = registry.create(name);
+    ASSERT_NE(backend, nullptr) << name;
+    EXPECT_EQ(backend->name(), name);
+    const BackendCaps caps = backend->caps();
+    EXPECT_TRUE(caps.range || caps.knn) << name << " supports no mode at all";
+  }
+}
+
+TEST(BackendRegistry, UnknownNameThrows) {
+  EXPECT_THROW(make_backend("no-such-backend"), Error);
+}
+
+TEST(BackendRegistry, CustomFactoriesRegister) {
+  auto& registry = BackendRegistry::instance();
+  registry.add("custom_brute", [] { return std::make_unique<BruteForceBackend>(); });
+  const auto backend = registry.create("custom_brute");
+  EXPECT_EQ(backend->name(), "brute_force");
+  EXPECT_TRUE(registry.contains("custom_brute"));
+}
+
+/// KNN sequences sorted by (distance, id) must match id-for-id: every
+/// in-repo implementation breaks distance ties by ascending point id.
+void expect_knn_identical(std::span<const Vec3> points, std::span<const Vec3> queries,
+                          const NeighborResult& got, const NeighborResult& expected,
+                          const std::string& label) {
+  ASSERT_EQ(got.num_queries(), expected.num_queries()) << label;
+  for (std::size_t q = 0; q < got.num_queries(); ++q) {
+    ASSERT_EQ(got.count(q), expected.count(q)) << label << " query " << q;
+    auto by_dist_then_id = [&](std::span<const std::uint32_t> ids) {
+      std::vector<std::uint32_t> sorted(ids.begin(), ids.end());
+      std::sort(sorted.begin(), sorted.end(), [&](std::uint32_t a, std::uint32_t b) {
+        const float da = distance2(points[a], queries[q]);
+        const float db = distance2(points[b], queries[q]);
+        return da < db || (da == db && a < b);
+      });
+      return sorted;
+    };
+    ASSERT_EQ(by_dist_then_id(got.neighbors(q)), by_dist_then_id(expected.neighbors(q)))
+        << label << " query " << q;
+  }
+}
+
+class BackendParity : public ::testing::TestWithParam<CloudKind> {};
+
+TEST_P(BackendParity, AgreesWithBruteForceOnRandomClouds) {
+  const CloudKind kind = GetParam();
+  const std::vector<Vec3> points = rtnn::testing::make_cloud(kind, 1500, /*seed=*/7);
+
+  // Queries: a mix of points themselves and jittered offsets.
+  Pcg32 rng(99);
+  std::vector<Vec3> queries;
+  for (std::size_t i = 0; i < points.size(); i += 10) {
+    queries.push_back(points[i]);
+    queries.push_back(points[i] + Vec3{rng.uniform(-0.05f, 0.05f),
+                                       rng.uniform(-0.05f, 0.05f),
+                                       rng.uniform(-0.05f, 0.05f)});
+  }
+
+  SearchParams params;
+  params.radius = rtnn::testing::typical_radius(kind);
+  // K = N: range results can never be truncated, so parity is exact.
+  params.k = static_cast<std::uint32_t>(points.size());
+
+  BruteForceBackend reference;
+  reference.set_points(points);
+
+  for (const char* name : kBuiltins) {
+    if (std::string_view(name) == "brute_force") continue;
+    const auto backend = make_backend(name);
+    backend->set_points(points);
+    const BackendCaps caps = backend->caps();
+
+    if (caps.range) {
+      params.mode = SearchMode::kRange;
+      const NeighborResult expected = reference.search(queries, params, nullptr);
+      const NeighborResult got = backend->search(queries, params, nullptr);
+      rtnn::testing::expect_same_neighbor_sets(
+          got, expected, std::string(name) + "/range/" + to_string(kind));
+    }
+
+    if (caps.knn) {
+      params.mode = SearchMode::kKnn;
+      params.k = 16;
+      const NeighborResult expected = reference.search(queries, params, nullptr);
+      const NeighborResult got = backend->search(queries, params, nullptr);
+      expect_knn_identical(points, queries, got, expected,
+                           std::string(name) + "/knn/" + to_string(kind));
+      params.k = static_cast<std::uint32_t>(points.size());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Clouds, BackendParity,
+                         ::testing::Values(CloudKind::kUniform, CloudKind::kLidar,
+                                           CloudKind::kNBody),
+                         [](const auto& info) { return to_string(info.param); });
+
+TEST(AutoBackend, PicksNonBruteForceOnLargeUniformCloud) {
+  const std::vector<Vec3> points =
+      rtnn::testing::make_cloud(CloudKind::kUniform, 100'000, /*seed=*/3);
+  const std::span<const Vec3> queries(points.data(), 1000);
+
+  AutoBackend backend;
+  backend.set_points(points);
+  SearchParams params;
+  params.mode = SearchMode::kKnn;
+  params.radius = 0.06f;
+  params.k = 16;
+
+  const NeighborResult result = backend.search(queries, params);
+  EXPECT_FALSE(backend.last_choice().empty());
+  EXPECT_NE(backend.last_choice(), "brute_force") << "100k points must not go exhaustive";
+  rtnn::testing::expect_all_within_radius(points, queries, result, params.radius, "auto");
+
+  // Whatever it picked must agree with the reference.
+  BruteForceBackend reference;
+  reference.set_points(points);
+  const NeighborResult expected = reference.search(queries, params, nullptr);
+  expect_knn_identical(points, queries, result, expected, "auto/knn");
+}
+
+TEST(AutoBackend, PredictsBruteForceForTinyWorkloads) {
+  const std::vector<Vec3> points =
+      rtnn::testing::make_cloud(CloudKind::kUniform, 64, /*seed=*/5);
+  AutoBackend backend;
+  backend.set_points(points);
+  SearchParams params;
+  params.radius = 0.1f;
+  const WorkloadStats stats = backend.measure(std::span<const Vec3>(points).subspan(0, 4),
+                                              params);
+  EXPECT_EQ(stats.n, 64u);
+  EXPECT_EQ(stats.q, 4u);
+  EXPECT_EQ(backend.predict(stats, params), "brute_force");
+}
+
+TEST(AutoBackend, DensityEstimateTracksUniformCloud) {
+  const std::size_t n = 20'000;
+  const std::vector<Vec3> points = rtnn::testing::make_cloud(CloudKind::kUniform, n, 11);
+  AutoBackend backend;
+  backend.set_points(points);
+  SearchParams params;
+  params.radius = 0.1f;
+  const WorkloadStats stats =
+      backend.measure(std::span<const Vec3>(points).subspan(0, 256), params);
+  // Uniform unit cube: expect ~N points per unit volume, within a factor
+  // accounting for boundary clipping of the sampled boxes.
+  EXPECT_GT(stats.density, 0.25 * static_cast<double>(n));
+  EXPECT_LT(stats.density, 1.5 * static_cast<double>(n));
+}
+
+TEST(StagePipeline, ComposedStagesMatchFlaggedSearch) {
+  const std::vector<Vec3> points =
+      rtnn::testing::make_cloud(CloudKind::kUniform, 4000, /*seed=*/21);
+  const std::span<const Vec3> queries(points.data(), 800);
+
+  SearchParams params;
+  params.mode = SearchMode::kRange;
+  params.radius = 0.06f;
+  params.k = 64;
+  params.opts = OptimizationFlags::all();
+
+  NeighborSearch search;
+  search.set_points(points);
+  const NeighborResult flagged = search.search(queries, params);
+
+  // The same pipeline, assembled by hand from real stage objects.
+  std::vector<std::unique_ptr<SearchStage>> stages;
+  stages.push_back(std::make_unique<ScheduleStage>());
+  stages.push_back(std::make_unique<PartitionStage>());
+  stages.push_back(std::make_unique<BundleStage>(/*use_cost_model=*/true));
+  stages.push_back(std::make_unique<LaunchStage>());
+  const NeighborResult composed = search.run_stages(queries, params, stages);
+
+  rtnn::testing::expect_same_neighbor_sets(composed, flagged, "stages/range");
+
+  // A truncated pipeline (no partitioning) must equal the flag-driven
+  // scheduling-only configuration.
+  std::vector<std::unique_ptr<SearchStage>> sched_only;
+  sched_only.push_back(std::make_unique<ScheduleStage>());
+  sched_only.push_back(std::make_unique<LaunchStage>());
+  const NeighborResult truncated = search.run_stages(queries, params, sched_only);
+  params.opts = OptimizationFlags::scheduling_only();
+  const NeighborResult sched_flagged = search.search(queries, params);
+  rtnn::testing::expect_same_neighbor_sets(truncated, sched_flagged, "stages/sched-only");
+}
+
+}  // namespace
+}  // namespace rtnn::engine
