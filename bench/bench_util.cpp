@@ -1,14 +1,10 @@
 #include "bench_util.hpp"
 
 #include <algorithm>
-#include <cmath>
-#include <cstdio>
 #include <cstdlib>
-#include <iostream>
 
 #include "baselines/brute_force.hpp"
 #include "core/error.hpp"
-#include "core/parallel.hpp"
 #include "core/rng.hpp"
 #include "datasets/lidar.hpp"
 #include "datasets/nbody.hpp"
@@ -63,24 +59,25 @@ std::size_t scaled(double paper_points, double scale) {
 
 }  // namespace
 
-BenchDataset paper_dataset(const std::string& name, double scale, std::uint32_t k) {
-  auto lidar = [&](double n, std::uint64_t seed) {
+BenchDataset paper_dataset(const std::string& name, double scale, std::uint32_t k,
+                           std::uint64_t seed) {
+  auto lidar = [&](double n, std::uint64_t base) {
     data::LidarParams params;
     params.target_points = scaled(n, scale);
-    params.seed = seed;
+    params.seed = mix_seed(seed, base);
     return data::lidar_scan(params);
   };
-  auto nbody = [&](double n, std::uint64_t seed) {
+  auto nbody = [&](double n, std::uint64_t base) {
     data::NBodyParams params;
     params.target_points = scaled(n, scale);
-    params.seed = seed;
+    params.seed = mix_seed(seed, base);
     return data::nbody_cluster(params);
   };
-  auto surface = [&](data::SurfaceModel model, double n, std::uint64_t seed) {
+  auto surface = [&](data::SurfaceModel model, double n, std::uint64_t base) {
     data::SurfaceParams params;
     params.model = model;
     params.target_points = scaled(n, scale);
-    params.seed = seed;
+    params.seed = mix_seed(seed, base);
     return data::surface_scan(params);
   };
 
@@ -99,44 +96,21 @@ BenchDataset paper_dataset(const std::string& name, double scale, std::uint32_t 
   throw Error("unknown paper dataset: " + name);
 }
 
-std::vector<BenchDataset> paper_datasets(double scale, std::uint32_t k) {
+std::vector<BenchDataset> paper_datasets(double scale, std::uint32_t k,
+                                         std::uint64_t seed) {
   std::vector<BenchDataset> all;
   for (const char* name :
        {"KITTI-1M", "KITTI-6M", "KITTI-12M", "KITTI-25M", "NBody-9M", "NBody-10M",
         "Bunny-360K", "Dragon-3.6M", "Buddha-4.6M"}) {
-    all.push_back(paper_dataset(name, scale, k));
+    all.push_back(paper_dataset(name, scale, k, seed));
   }
   return all;
-}
-
-double time_once(const std::function<void()>& fn) {
-  Timer timer;
-  fn();
-  return timer.elapsed();
-}
-
-double geomean(const std::vector<double>& values) {
-  if (values.empty()) return 0.0;
-  double log_sum = 0.0;
-  for (const double v : values) log_sum += std::log(std::max(v, 1e-300));
-  return std::exp(log_sum / static_cast<double>(values.size()));
 }
 
 float paper_radius(const std::string& name, const BenchDataset& ds) {
   if (name.rfind("KITTI", 0) == 0) return 3.0f;
   if (name.rfind("NBody", 0) == 0) return 10.0f;
   return ds.radius;
-}
-
-void print_figure_header(const std::string& figure, const std::string& paper_result,
-                         const std::string& note) {
-  std::cout << "\n================================================================\n";
-  std::cout << figure << '\n';
-  std::cout << "paper: " << paper_result << '\n';
-  if (!note.empty()) std::cout << "note:  " << note << '\n';
-  std::cout << "scale: " << bench_scale() << "x paper sizes, threads=" << num_threads()
-            << '\n';
-  std::cout << "================================================================\n";
 }
 
 }  // namespace rtnn::bench

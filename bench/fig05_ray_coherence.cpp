@@ -7,28 +7,29 @@
 //
 // Here: LiDAR points, queries assigned uniformly to grid cells and emitted
 // in raster order vs shuffled. Only the Search phase is timed (the BVH is
-// identical for both orders), best of two runs. Both engines are reported:
-// the independent-traversal engine shows the effect through the CPU memory
-// hierarchy; the warp-lockstep SIMT engine adds the control-flow
-// divergence penalty the RT hardware pays.
+// identical for both orders), min over the runner's repeats. Both engines
+// are reported: the independent-traversal engine shows the effect through
+// the CPU memory hierarchy; the warp-lockstep SIMT engine adds the
+// control-flow divergence penalty the RT hardware pays.
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 
+#include "bench/bench.hpp"
 #include "bench_util.hpp"
 #include "datasets/uniform.hpp"
 #include "rtnn/rtnn.hpp"
 
 using namespace rtnn;
 
-int main() {
-  const double scale = bench::bench_scale();
-  bench::print_figure_header(
-      "Figure 5 — ray coherence: ordered vs random query order",
-      "random order ~4-5x slower than raster order, across 0.27M-27M queries");
-
+RTNN_BENCH_CASE(fig05, "fig05",
+                "Figure 5 — ray coherence: ordered vs random query order",
+                "random order ~4-5x slower than raster order, across 0.27M-27M queries",
+                "SIMT wall-clock and gpu-cost ratios > 1; the independent CPU engine "
+                "shows little of the gap (it comes from divergence)") {
   // This characterization needs a working set larger than the CPU caches;
   // use the biggest KITTI configuration.
-  bench::BenchDataset ds = bench::paper_dataset("KITTI-25M", scale, 64);
+  bench::BenchDataset ds = bench::paper_dataset("KITTI-25M", ctx.scale(), 64, ctx.seed());
 
   SearchParams params;
   params.mode = SearchMode::kRange;
@@ -40,53 +41,56 @@ int main() {
   NeighborSearch search;
   search.set_points(ds.points);
 
-  struct Sample {
-    double seconds = 1e30;
-    std::uint64_t substeps = 0;
-  };
-  auto run = [&](const data::PointCloud& queries, bool simt) {
+  // Each sample is the Search-phase time of one full search() call; the
+  // warp-substep counters are deterministic per input, so reading them
+  // from the last repeat is exact.
+  std::uint64_t substeps = 0;
+  auto run = [&](const data::PointCloud& queries, bool simt, const std::string& name) {
     params.simt_launches = simt;
-    Sample best;
-    for (int rep = 0; rep < 3; ++rep) {
-      NeighborSearch::Report report;
-      search.search(queries, params, &report);
-      if (report.time.search < best.seconds) {
-        best.seconds = report.time.search;
-        best.substeps = report.stats.warp_substeps;
-      }
-    }
-    return best;
+    return ctx.sample(name,
+                      [&] {
+                        NeighborSearch::Report report;
+                        search.search(queries, params, &report);
+                        substeps = report.stats.warp_substeps;
+                        return report.time.search;
+                      },
+                      {.work_items = static_cast<double>(queries.size())});
   };
 
   std::printf("%12s %12s %12s %7s %12s %12s %7s %9s\n", "queries", "raster[s]",
               "random[s]", "ratio", "simt-ra[s]", "simt-rnd[s]", "ratio",
               "gpu-cost");
   const Aabb box = data::bounds(ds.points);
-  for (const double mq : {0.27, 0.75, 1.5, 2.7}) {
-    const auto res = static_cast<std::uint32_t>(std::cbrt(mq * 1e6 * scale * 20.0));
+  const struct { double mq; const char* label; } sweeps[] = {
+      {0.27, "0.27M"}, {0.75, "0.75M"}, {1.5, "1.5M"}, {2.7, "2.7M"}};
+  for (const auto& sweep : sweeps) {
+    const auto res =
+        static_cast<std::uint32_t>(std::cbrt(sweep.mq * 1e6 * ctx.scale() * 20.0));
     data::GridQueryParams gq;
     gq.resolution = res;
     gq.box = box;
-    gq.seed = 5;
+    gq.seed = bench::mix_seed(ctx.seed(), 5);
     data::PointCloud raster = data::grid_queries_raster(gq);
     data::PointCloud random = raster;
-    data::shuffle(random, 6);
+    data::shuffle(random, bench::mix_seed(ctx.seed(), 6));
 
-    const Sample ind_raster = run(raster, false);
-    const Sample ind_random = run(random, false);
-    const Sample simt_raster = run(raster, true);
-    const Sample simt_random = run(random, true);
+    const std::string sz = sweep.label;
+    const double ind_raster = run(raster, false, "ind.raster." + sz);
+    const double ind_random = run(random, false, "ind.random." + sz);
+    const double simt_raster = run(raster, true, "simt.raster." + sz);
+    const std::uint64_t raster_substeps = substeps;
+    const double simt_random = run(random, true, "simt.random." + sz);
     // "gpu-cost" = ratio of serialized warp sub-steps, the substrate's
     // cycle-count analog of the hardware's SIMT execution time.
+    const double gpu_cost =
+        static_cast<double>(substeps) / static_cast<double>(raster_substeps);
+    ctx.metric("gpu_cost." + sz, gpu_cost, "x");
+    ctx.metric("simt_ratio." + sz, simt_random / simt_raster, "x");
     std::printf("%12zu %12.4f %12.4f %7.2f %12.4f %12.4f %7.2f %8.2fx\n",
-                raster.size(), ind_raster.seconds, ind_random.seconds,
-                ind_random.seconds / ind_raster.seconds, simt_raster.seconds,
-                simt_random.seconds, simt_random.seconds / simt_raster.seconds,
-                static_cast<double>(simt_random.substeps) /
-                    static_cast<double>(simt_raster.substeps));
+                raster.size(), ind_raster, ind_random, ind_random / ind_raster,
+                simt_raster, simt_random, simt_random / simt_raster, gpu_cost);
   }
   std::puts("\nexpected shape: SIMT wall-clock and gpu-cost ratios > 1 (the paper's");
   std::puts("4-5x gap is a SIMT-hardware effect; the independent CPU engine shows");
   std::puts("little of it, which is itself evidence the gap comes from divergence).");
-  return 0;
 }

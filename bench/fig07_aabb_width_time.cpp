@@ -6,6 +6,7 @@
 // work. This is the observation that motivates query partitioning.
 #include <cstdio>
 
+#include "bench/bench.hpp"
 #include "bench_util.hpp"
 #include "datasets/point_cloud.hpp"
 #include "optix/optix.hpp"
@@ -13,20 +14,20 @@
 
 using namespace rtnn;
 
-int main() {
-  const double scale = bench::bench_scale();
-  bench::print_figure_header("Figure 7 — search time vs AABB width",
-                             "time grows superlinearly with AABB width (0.3 to 30 m)");
-
-  bench::BenchDataset ds = bench::paper_dataset("KITTI-6M", scale, 16);
-  const data::PointCloud queries =
-      data::jittered_queries(ds.points, ds.points.size() / 2, 0.1f, 11);
+RTNN_BENCH_CASE(fig07, "fig07", "Figure 7 — search time vs AABB width",
+                "time grows superlinearly with AABB width (0.3 to 30 m)",
+                "monotone increase, superlinear in width (volume ~ w^3)") {
+  bench::BenchDataset ds = bench::paper_dataset("KITTI-6M", ctx.scale(), 16, ctx.seed());
+  const data::PointCloud queries = data::jittered_queries(
+      ds.points, ds.points.size() / 2, 0.1f, bench::mix_seed(ctx.seed(), 11));
 
   std::printf("%12s %14s %16s\n", "width[m]", "search[s]", "IS calls/query");
-  for (const float width : {0.3f, 1.0f, 3.0f, 10.0f, 30.0f}) {
+  const struct { float width; const char* label; } sweeps[] = {
+      {0.3f, "w0.3"}, {1.0f, "w1"}, {3.0f, "w3"}, {10.0f, "w10"}, {30.0f, "w30"}};
+  for (const auto& sweep : sweeps) {
     std::vector<Aabb> aabbs(ds.points.size());
     for (std::size_t i = 0; i < ds.points.size(); ++i) {
-      aabbs[i] = Aabb::cube(ds.points[i], width);
+      aabbs[i] = Aabb::cube(ds.points[i], sweep.width);
     }
     const ox::Accel accel = ox::Context{}.build_accel(aabbs);
 
@@ -35,14 +36,16 @@ int main() {
     for (std::uint32_t i = 0; i < ids.size(); ++i) ids[i] = i;
     // Unbounded range search at r = width/2: every enclosing AABB triggers
     // the IS shader and the sphere test, exactly the Figure 7/8 setup.
-    pipelines::RangePipeline pipeline(ds.points, queries, ids, width / 2.0f, 0xffffff,
-                                      /*skip_sphere_test=*/false, result);
+    pipelines::RangePipeline pipeline(ds.points, queries, ids, sweep.width / 2.0f,
+                                      0xffffff, /*skip_sphere_test=*/false, result);
     ox::LaunchStats stats;
-    const double seconds = bench::time_once([&] {
-      stats = ox::launch(accel, pipeline, static_cast<std::uint32_t>(queries.size()));
-    });
-    std::printf("%12.1f %14.4f %16.2f\n", width, seconds, stats.is_calls_per_ray());
+    const double seconds = ctx.time(
+        std::string("search.") + sweep.label,
+        [&] { stats = ox::launch(accel, pipeline, static_cast<std::uint32_t>(queries.size())); },
+        {.work_items = static_cast<double>(queries.size())});
+    ctx.metric(std::string("is_per_query.") + sweep.label, stats.is_calls_per_ray());
+    std::printf("%12.1f %14.4f %16.2f\n", sweep.width, seconds,
+                stats.is_calls_per_ray());
   }
   std::puts("\nexpected shape: monotone increase, superlinear in width (volume ~ w^3).");
-  return 0;
 }

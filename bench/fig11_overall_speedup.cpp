@@ -11,12 +11,13 @@
 // "rtnn". All timings are end-to-end (set_points + lazy index build +
 // search); queries = the points themselves. A baseline is marked DNF when
 // it exceeds 200x RTNN's time (the paper used 1000x; ours is tighter to
-// keep the suite fast).
+// keep the suite fast). This is the headline case the CI perf gate tracks.
 #include <cstdio>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "bench/bench.hpp"
 #include "bench_util.hpp"
 #include "engine/engine.hpp"
 #include "rtnn/rtnn.hpp"
@@ -36,23 +37,24 @@ struct Row {
 
 /// End-to-end time of one backend on one workload: upload, (re)build the
 /// structure, search.
-double time_backend(engine::SearchBackend& backend, std::span<const Vec3> points,
+double time_backend(bench::CaseContext& ctx, const std::string& name,
+                    engine::SearchBackend& backend, std::span<const Vec3> points,
                     std::span<const Vec3> queries, const SearchParams& params) {
-  return bench::time_once([&] {
-    backend.set_points(points);
-    backend.search(queries, params);
-  });
+  return ctx.time(name,
+                  [&] {
+                    backend.set_points(points);
+                    backend.search(queries, params);
+                  },
+                  {.work_items = static_cast<double>(queries.size())});
 }
 
 }  // namespace
 
-int main() {
-  const double scale = bench::bench_scale();
-  bench::print_figure_header(
-      "Figure 11 — RTNN speedup over baselines (range + KNN, 9 datasets)",
-      "geomean range: 2.2x vs PCLOctree, 44x vs cuNSearch; "
-      "KNN: 3.5x vs FRNN, 65x vs FastRNN; speedups grow with input size");
-
+RTNN_BENCH_CASE(fig11, "fig11",
+                "Figure 11 — RTNN speedup over baselines (range + KNN, 9 datasets)",
+                "geomean range: 2.2x vs PCLOctree, 44x vs cuNSearch; "
+                "KNN: 3.5x vs FRNN, 65x vs FastRNN; speedups grow with input size",
+                "FastRNN times extrapolated from a 5% query probe; DNF = >200x RTNN") {
   const auto rtnn_backend = engine::make_backend("rtnn");
   const auto octree_backend = engine::make_backend("octree");
   const auto grid_backend = engine::make_backend("grid");
@@ -62,7 +64,7 @@ int main() {
   for (const char* name :
        {"KITTI-1M", "KITTI-6M", "KITTI-12M", "KITTI-25M", "NBody-9M", "NBody-10M",
         "Bunny-360K", "Dragon-3.6M", "Buddha-4.6M"}) {
-    bench::BenchDataset ds = bench::paper_dataset(name, scale, kK);
+    bench::BenchDataset ds = bench::paper_dataset(name, ctx.scale(), kK, ctx.seed());
     const auto& points = ds.points;
     Row row;
     row.dataset = name;
@@ -74,14 +76,19 @@ int main() {
 
     // --- Range search ---
     params.mode = SearchMode::kRange;
-    row.t_rtnn_range = time_backend(*rtnn_backend, points, points, params);
-    row.t_octree = time_backend(*octree_backend, points, points, params);
-    row.t_grid = time_backend(*grid_backend, points, points, params);
+    row.t_rtnn_range = time_backend(ctx, std::string("range.rtnn.") + name,
+                                    *rtnn_backend, points, points, params);
+    row.t_octree = time_backend(ctx, std::string("range.octree.") + name,
+                                *octree_backend, points, points, params);
+    row.t_grid = time_backend(ctx, std::string("range.grid.") + name, *grid_backend,
+                              points, points, params);
 
     // --- KNN search ---
     params.mode = SearchMode::kKnn;
-    row.t_rtnn_knn = time_backend(*rtnn_backend, points, points, params);
-    row.t_frnn = time_backend(*grid_backend, points, points, params);
+    row.t_rtnn_knn = time_backend(ctx, std::string("knn.rtnn.") + name, *rtnn_backend,
+                                  points, points, params);
+    row.t_frnn = time_backend(ctx, std::string("knn.frnn.") + name, *grid_backend,
+                              points, points, params);
     // FastRNN (naive RT KNN) can be orders of magnitude slower; probe it
     // on a query subsample and extrapolate, marking DNF past the cap.
     {
@@ -89,7 +96,8 @@ int main() {
       const std::span<const Vec3> probe_queries(points.data(),
                                                 std::min(probe, points.size()));
       const double t_probe =
-          time_backend(*fastrnn_backend, points, probe_queries, params);
+          time_backend(ctx, std::string("knn.fastrnn_probe.") + name, *fastrnn_backend,
+                       points, probe_queries, params);
       row.t_fastrnn =
           t_probe * static_cast<double>(points.size()) /
           static_cast<double>(probe_queries.size());
@@ -105,9 +113,13 @@ int main() {
   for (const Row& r : rows) {
     su_octree.push_back(r.t_octree / r.t_rtnn_range);
     su_grid.push_back(r.t_grid / r.t_rtnn_range);
+    ctx.metric("speedup.range.octree." + r.dataset, su_octree.back(), "x");
+    ctx.metric("speedup.range.grid." + r.dataset, su_grid.back(), "x");
     std::printf("%-12s %10.3f %13.1fx %13.1fx\n", r.dataset.c_str(), r.t_rtnn_range,
                 su_octree.back(), su_grid.back());
   }
+  ctx.metric("geomean.range.octree", bench::geomean(su_octree), "x");
+  ctx.metric("geomean.range.grid", bench::geomean(su_grid), "x");
   std::printf("%-12s %10s %13.1fx %13.1fx\n", "geomean", "",
               bench::geomean(su_octree), bench::geomean(su_grid));
 
@@ -116,16 +128,19 @@ int main() {
   for (const Row& r : rows) {
     su_frnn.push_back(r.t_frnn / r.t_rtnn_knn);
     su_fastrnn.push_back(r.t_fastrnn / r.t_rtnn_knn);
+    ctx.metric("speedup.knn.frnn." + r.dataset, su_frnn.back(), "x");
+    ctx.metric("speedup.knn.fastrnn." + r.dataset, su_fastrnn.back(), "x");
     char fast_buf[32];
     std::snprintf(fast_buf, sizeof(fast_buf), "%12.1fx%s", su_fastrnn.back(),
                   r.fastrnn_dnf ? " DNF" : "");
     std::printf("%-12s %10.3f %13.1fx %s\n", r.dataset.c_str(), r.t_rtnn_knn,
                 su_frnn.back(), fast_buf);
   }
+  ctx.metric("geomean.knn.frnn", bench::geomean(su_frnn), "x");
+  ctx.metric("geomean.knn.fastrnn", bench::geomean(su_fastrnn), "x");
   std::printf("%-12s %10s %13.1fx %12.1fx\n", "geomean", "", bench::geomean(su_frnn),
               bench::geomean(su_fastrnn));
   std::puts("\nexpected shape: RTNN ahead of tree baselines by small factors and of");
   std::puts("grid/naive-RT baselines by large factors; gap grows with dataset size.");
   std::puts("(FastRNN times extrapolated from a 5% query probe; DNF = >200x RTNN.)");
-  return 0;
 }

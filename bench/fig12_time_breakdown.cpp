@@ -7,26 +7,26 @@
 // yields many partitions and BVH builds.
 #include <cstdio>
 
+#include "bench/bench.hpp"
 #include "bench_util.hpp"
 #include "rtnn/rtnn.hpp"
 
 using namespace rtnn;
 
-int main() {
-  const double scale = bench::bench_scale();
-  bench::print_figure_header(
-      "Figure 12 — RTNN time distribution {Data, Opt, BVH, FS, Search} [%]",
-      "Search dominates large inputs; NBody spends >50% in Opt+BVH "
-      "(non-uniform density -> many partitions)");
-
+RTNN_BENCH_CASE(fig12, "fig12",
+                "Figure 12 — RTNN time distribution {Data, Opt, BVH, FS, Search} [%]",
+                "Search dominates large inputs; NBody spends >50% in Opt+BVH "
+                "(non-uniform density -> many partitions)",
+                "FS is negligible everywhere, as in the paper") {
   for (const SearchMode mode : {SearchMode::kKnn, SearchMode::kRange}) {
+    const char* mode_name = mode == SearchMode::kKnn ? "knn" : "range";
     std::printf("\n--- %s search ---\n", mode == SearchMode::kKnn ? "KNN" : "Range");
     std::printf("%-12s %6s %6s %6s %6s %6s   %10s %6s\n", "dataset", "Data", "Opt",
                 "BVH", "FS", "Search", "total[s]", "#part");
     for (const char* name :
          {"KITTI-1M", "KITTI-6M", "KITTI-12M", "KITTI-25M", "NBody-9M", "NBody-10M",
           "Bunny-360K", "Dragon-3.6M", "Buddha-4.6M"}) {
-      bench::BenchDataset ds = bench::paper_dataset(name, scale, 16);
+      bench::BenchDataset ds = bench::paper_dataset(name, ctx.scale(), 16, ctx.seed());
       SearchParams params;
       params.mode = mode;
       params.radius = bench::paper_radius(name, ds);
@@ -35,13 +35,25 @@ int main() {
       params.max_grid_cells = std::uint64_t{1} << 24;
       NeighborSearch search;
       search.set_points(ds.points);
+      // The sample is the summed phase breakdown of one search() call; the
+      // report of the last repeat supplies the (deterministic) breakdown.
       NeighborSearch::Report report;
-      search.search(ds.points, params, &report);
+      ctx.sample(std::string(mode_name) + "." + name,
+                 [&] {
+                   report = {};
+                   search.search(ds.points, params, &report);
+                   return report.time.total();
+                 },
+                 {.work_items = static_cast<double>(ds.points.size())});
+      const double total = report.time.total();
+      ctx.metric(std::string(mode_name) + "." + name + ".search_share",
+                 total > 0 ? 100.0 * report.time.search / total : 0.0, "%");
+      ctx.metric(std::string(mode_name) + "." + name + ".partitions",
+                 report.num_partitions);
       std::printf("%-12s %s   %10.3f %6u\n", name, report.time.percent_row().c_str(),
                   report.time.total(), report.num_partitions);
     }
   }
   std::puts("\nexpected shape: Search share grows with input size; NBody rows have the");
   std::puts("largest Opt+BVH share; FS is negligible everywhere (as in the paper).");
-  return 0;
 }

@@ -3,37 +3,36 @@
 // Paper: construction time is linearly correlated with the number of
 // AABBs (linear fit with R² = 0.996) — the empirical basis of the
 // T_build = k1·M term in the bundling cost model.
-#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <vector>
 
+#include "bench/bench.hpp"
 #include "bench_util.hpp"
 #include "datasets/uniform.hpp"
 #include "optix/optix.hpp"
 
 using namespace rtnn;
 
-int main() {
-  const double scale = bench::bench_scale();
-  bench::print_figure_header(
-      "Figure 15 — BVH build time vs #AABBs",
-      "linear: time = k1 * M with R^2 = 0.996 (RTX builds over 0-36M AABBs)");
-
-  const auto max_aabbs = static_cast<std::size_t>(36e6 * scale * 4.0);
+RTNN_BENCH_CASE(fig15, "fig15", "Figure 15 — BVH build time vs #AABBs",
+                "linear: time = k1 * M with R^2 = 0.996 (RTX builds over 0-36M AABBs)",
+                "R^2 close to 1 expected") {
+  const auto max_aabbs = static_cast<std::size_t>(36e6 * ctx.scale() * 4.0);
   std::vector<double> xs, ys;
   std::printf("%14s %14s %16s\n", "#AABBs", "build[s]", "ns per AABB");
+  int frac_index = 0;
   for (const double frac : {1.0 / 6, 2.0 / 6, 3.0 / 6, 4.0 / 6, 5.0 / 6, 1.0}) {
+    ++frac_index;
     const auto n = static_cast<std::size_t>(static_cast<double>(max_aabbs) * frac);
-    const data::PointCloud points = data::uniform_box(n, {{0, 0, 0}, {1, 1, 1}}, 17);
+    const data::PointCloud points =
+        data::uniform_box(n, {{0, 0, 0}, {1, 1, 1}}, bench::mix_seed(ctx.seed(), 17));
     std::vector<Aabb> aabbs(n);
     for (std::size_t i = 0; i < n; ++i) aabbs[i] = Aabb::cube(points[i], 0.01f);
-    const ox::Context ctx;
-    ctx.build_accel(aabbs);  // warm-up (page faults, allocator)
-    double seconds = 1e30;
-    for (int rep = 0; rep < 3; ++rep) {
-      seconds = std::min(seconds, bench::time_once([&] { ctx.build_accel(aabbs); }));
-    }
+    const ox::Context ctx_ox;
+    // The runner's warmup repeat absorbs page faults and allocator churn.
+    const double seconds = ctx.time("build.f" + std::to_string(frac_index),
+                                    [&] { ctx_ox.build_accel(aabbs); },
+                                    {.work_items = static_cast<double>(n)});
     std::printf("%14zu %14.4f %16.1f\n", n, seconds,
                 1e9 * seconds / static_cast<double>(n));
     xs.push_back(static_cast<double>(n));
@@ -58,10 +57,11 @@ int main() {
     ss_tot += (ys[i] - sy / m) * (ys[i] - sy / m);
   }
   const double r2 = ss_tot > 0 ? 1.0 - ss_res / ss_tot : 1.0;
+  ctx.metric("fit.r2", r2);
+  ctx.metric("fit.k1_ns_per_aabb", slope * 1e9, "ns");
   std::printf("\nlinear fit: time = %.3g * M + %.3g,  R^2 = %.4f\n", slope, intercept,
               r2);
   std::printf("k1 (build seconds per AABB) = %.3g — feeds the bundling cost model\n",
               slope);
   std::puts("expected shape: R^2 close to 1 (paper: 0.996).");
-  return 0;
 }

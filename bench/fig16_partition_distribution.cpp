@@ -5,24 +5,24 @@
 // queries need a large AABB, whereas most of queries should be captured
 // by small AABBs" (~6M queries). This empirical structure is what makes
 // the bundling theorem (keep populous partitions separate, merge the
-// sparse ones) optimal.
+// sparse ones) optimal. Deterministic structure, so this case records
+// metrics, not timings.
 #include <cstdio>
 #include <numeric>
 
+#include "bench/bench.hpp"
 #include "bench_util.hpp"
 #include "rtnn/rtnn.hpp"
 
 using namespace rtnn;
 
-int main() {
-  const double scale = bench::bench_scale();
-  bench::print_figure_header(
-      "Figure 16 — queries per partition vs AABB size",
-      "inverse correlation: most queries in small-AABB partitions, few in "
-      "large ones (~6M queries)");
-
+RTNN_BENCH_CASE(fig16, "fig16",
+                "Figure 16 — queries per partition vs AABB size",
+                "inverse correlation: most queries in small-AABB partitions, few in "
+                "large ones (~6M queries)",
+                "query counts fall as AABB size grows (score near 1)") {
   for (const char* name : {"KITTI-6M", "NBody-9M"}) {
-    bench::BenchDataset ds = bench::paper_dataset(name, scale, 16);
+    bench::BenchDataset ds = bench::paper_dataset(name, ctx.scale(), 16, ctx.seed());
     SearchParams params;
     params.mode = SearchMode::kKnn;
     params.radius = bench::paper_radius(name, ds);
@@ -56,9 +56,11 @@ int main() {
       }
     }
     const double total = concordant + discordant;
-    std::printf("inverse-correlation score: %.2f (1 = perfectly inverse)\n",
-                total > 0 ? concordant / total : 1.0);
+    const double score = total > 0 ? concordant / total : 1.0;
+    ctx.metric(std::string(name) + ".partitions",
+               static_cast<double>(parts.partitions.size()));
+    ctx.metric(std::string(name) + ".inverse_correlation", score);
+    std::printf("inverse-correlation score: %.2f (1 = perfectly inverse)\n", score);
   }
   std::puts("\nexpected shape: query counts fall as AABB size grows (score near 1).");
-  return 0;
 }

@@ -1,0 +1,152 @@
+// rtnn_bench — the unified benchmark CLI over every registered case.
+//
+//   rtnn_bench --list
+//   rtnn_bench --filter 'fig11|micro' --scale 0.002 --repeats 3 --json bench.json
+//
+// Each case is one paper figure (or micro suite); cases print their
+// per-figure console tables and every measurement is additionally
+// recorded through the runner into the schema-versioned JSON report
+// (src/bench/report.hpp). Exit status is non-zero when any case fails.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "bench/bench.hpp"
+#include "bench_util.hpp"
+
+namespace {
+
+void print_usage() {
+  std::puts(
+      "usage: rtnn_bench [options]\n"
+      "\n"
+      "  --list             list registered cases and exit\n"
+      "  --filter REGEX     run only cases whose name matches (partial match)\n"
+      "  --repeats N        measured invocations per timing (default 3)\n"
+      "  --warmup N         discarded invocations per timing (default 1)\n"
+      "  --scale S          dataset scale vs the paper (default: RTNN_BENCH_SCALE\n"
+      "                     or 0.02)\n"
+      "  --seed N           dataset RNG seed offset (default 0 = canonical sets)\n"
+      "  --json [PATH]      write the JSON report; PATH defaults to BENCH_<tag>.json\n"
+      "  --tag TAG          report tag (default: git sha, else \"local\")\n"
+      "  --quiet            suppress per-case headers and tables' footers\n"
+      "  --help             this text");
+}
+
+bool is_flag(const char* arg) { return std::strncmp(arg, "--", 2) == 0; }
+
+const char* next_value(int argc, char** argv, int& i, const char* flag) {
+  if (i + 1 >= argc || is_flag(argv[i + 1])) {
+    std::fprintf(stderr, "rtnn_bench: %s needs a value\n", flag);
+    std::exit(2);
+  }
+  return argv[++i];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace rtnn::bench;
+
+  RunnerOptions options;
+  options.scale = bench_scale();
+  bool list_only = false;
+  bool want_json = false;
+  std::string json_path;
+  std::string tag;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      print_usage();
+      return 0;
+    } else if (arg == "--list") {
+      list_only = true;
+    } else if (arg == "--filter") {
+      options.filter = next_value(argc, argv, i, "--filter");
+    } else if (arg == "--repeats") {
+      options.repeats = std::atoi(next_value(argc, argv, i, "--repeats"));
+      if (options.repeats < 1) {
+        std::fprintf(stderr, "rtnn_bench: --repeats must be >= 1\n");
+        return 2;
+      }
+    } else if (arg == "--warmup") {
+      options.warmup = std::atoi(next_value(argc, argv, i, "--warmup"));
+      if (options.warmup < 0) {
+        std::fprintf(stderr, "rtnn_bench: --warmup must be >= 0\n");
+        return 2;
+      }
+    } else if (arg == "--scale") {
+      options.scale = std::atof(next_value(argc, argv, i, "--scale"));
+      if (options.scale <= 0.0) {
+        std::fprintf(stderr, "rtnn_bench: --scale must be > 0\n");
+        return 2;
+      }
+    } else if (arg == "--seed") {
+      const char* value = next_value(argc, argv, i, "--seed");
+      char* end = nullptr;
+      options.seed = std::strtoull(value, &end, 10);
+      if (end == value || *end != '\0') {
+        std::fprintf(stderr, "rtnn_bench: --seed must be a non-negative integer\n");
+        return 2;
+      }
+    } else if (arg == "--json") {
+      want_json = true;
+      if (i + 1 < argc && !is_flag(argv[i + 1])) json_path = argv[++i];
+    } else if (arg == "--tag") {
+      tag = next_value(argc, argv, i, "--tag");
+    } else if (arg == "--quiet") {
+      options.verbose = false;
+    } else {
+      std::fprintf(stderr, "rtnn_bench: unknown option '%s' (try --help)\n",
+                   arg.c_str());
+      return 2;
+    }
+  }
+
+  BenchRegistry& registry = BenchRegistry::instance();
+  std::vector<const CaseInfo*> cases;
+  try {
+    cases = registry.match(options.filter);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "rtnn_bench: %s\n", e.what());
+    return 2;
+  }
+
+  if (list_only) {
+    for (const CaseInfo* c : cases) {
+      std::printf("%-16s %s\n", c->name.c_str(), c->title.c_str());
+    }
+    return 0;
+  }
+  if (cases.empty()) {
+    std::fprintf(stderr, "rtnn_bench: no cases match filter '%s' (see --list)\n",
+                 options.filter.c_str());
+    return 2;
+  }
+
+  const SuiteResult suite = run_cases(cases, options);
+
+  if (want_json) {
+    const Environment env = capture_environment();
+    if (tag.empty()) {
+      tag = env.git_sha.empty() || env.git_sha == "unknown"
+                ? std::string("local")
+                : env.git_sha.substr(0, 12);
+    }
+    if (json_path.empty()) json_path = default_report_path(tag);
+    try {
+      write_report(json_path, suite, env, tag);
+      std::fprintf(stderr, "rtnn_bench: wrote %s (schema v%d, %zu cases)\n",
+                   json_path.c_str(), kReportSchemaVersion, suite.results.size());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "rtnn_bench: %s\n", e.what());
+      return 1;
+    }
+  }
+
+  return suite.all_ok() ? 0 : 1;
+}

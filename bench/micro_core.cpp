@@ -1,12 +1,21 @@
-// google-benchmark micro suite for the substrate primitives: BVH build and
-// traversal, uniform grid, octree, radix sort, Morton encoding, KNN heap.
-// These are the per-operation costs behind every figure harness.
-#include <benchmark/benchmark.h>
-
+// Micro suite for the substrate primitives: BVH build and traversal,
+// uniform grid, octree, radix sort, Morton encoding, KNN heap. These are
+// the per-operation costs behind every figure harness.
+//
+// Formerly a Google Benchmark binary; now registered cases on the native
+// runner, so the whole suite ships in one rtnn_bench binary with no
+// external benchmark dependency. Sizes scale with the runner's --scale so
+// the CI smoke run stays fast (scale 0.02 reproduces the historical
+// 10k/100k/1M arguments).
+#include <algorithm>
+#include <cstdio>
 #include <numeric>
+#include <string>
 
 #include "baselines/grid_search.hpp"
 #include "baselines/octree.hpp"
+#include "bench/bench.hpp"
+#include "bench_util.hpp"
 #include "core/flat_knn.hpp"
 #include "core/morton.hpp"
 #include "core/rng.hpp"
@@ -16,12 +25,12 @@
 #include "rtcore/bvh.hpp"
 #include "rtcore/traversal.hpp"
 
-namespace {
-
 using namespace rtnn;
 
-data::PointCloud cloud(std::size_t n) {
-  return data::uniform_box(n, {{0, 0, 0}, {1, 1, 1}}, 12345);
+namespace {
+
+data::PointCloud cloud(std::size_t n, std::uint64_t seed) {
+  return data::uniform_box(n, {{0, 0, 0}, {1, 1, 1}}, bench::mix_seed(seed, 12345));
 }
 
 std::vector<Aabb> point_aabbs(const data::PointCloud& points, float width) {
@@ -32,19 +41,6 @@ std::vector<Aabb> point_aabbs(const data::PointCloud& points, float width) {
   return aabbs;
 }
 
-void BM_BvhBuild(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
-  const auto aabbs = point_aabbs(cloud(n), 0.02f);
-  for (auto _ : state) {
-    rt::Bvh bvh;
-    bvh.build(aabbs);
-    benchmark::DoNotOptimize(bvh.nodes().data());
-  }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(n));
-}
-BENCHMARK(BM_BvhBuild)->Arg(10'000)->Arg(100'000)->Arg(1'000'000)->Unit(benchmark::kMillisecond);
-
 struct NullProgram {
   std::uint64_t sink = 0;
   rt::TraceAction intersect(std::uint32_t, std::uint32_t prim) {
@@ -53,143 +49,178 @@ struct NullProgram {
   }
 };
 
-void BM_Traversal(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
-  const auto points = cloud(n);
-  const auto aabbs = point_aabbs(points, 0.03f);
-  rt::Bvh bvh;
-  bvh.build(aabbs);
-  std::vector<Ray> rays;
-  rays.reserve(points.size());
-  for (const Vec3& p : points) rays.push_back(Ray::short_ray(p));
-  NullProgram program;
-  for (auto _ : state) {
-    const auto stats = rt::trace(bvh, rays, program);
-    benchmark::DoNotOptimize(stats.is_calls);
-  }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(n));
+void print_row(const char* op, std::size_t n, double seconds) {
+  std::printf("%-24s %10zu %12.3f ms %12.1f ns/item\n", op, n, 1e3 * seconds,
+              n ? 1e9 * seconds / static_cast<double>(n) : 0.0);
 }
-BENCHMARK(BM_Traversal)->Arg(10'000)->Arg(100'000)->Unit(benchmark::kMillisecond);
-
-void BM_TraversalSimt(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
-  const auto points = cloud(n);
-  rt::Bvh bvh;
-  bvh.build(point_aabbs(points, 0.03f));
-  std::vector<Ray> rays;
-  for (const Vec3& p : points) rays.push_back(Ray::short_ray(p));
-  NullProgram program;
-  rt::TraceConfig config;
-  config.model = rt::ExecutionModel::kWarpLockstep;
-  for (auto _ : state) {
-    const auto stats = rt::trace(bvh, rays, program, config);
-    benchmark::DoNotOptimize(stats.warp_substeps);
-  }
-}
-BENCHMARK(BM_TraversalSimt)->Arg(10'000)->Arg(100'000)->Unit(benchmark::kMillisecond);
-
-void BM_GridBuild(benchmark::State& state) {
-  const auto points = cloud(static_cast<std::size_t>(state.range(0)));
-  for (auto _ : state) {
-    baselines::GridRangeSearch grid;
-    grid.build(points, 0.02f);
-    benchmark::DoNotOptimize(grid.grid().point_count());
-  }
-}
-BENCHMARK(BM_GridBuild)->Arg(100'000)->Arg(1'000'000)->Unit(benchmark::kMillisecond);
-
-void BM_GridRangeQuery(benchmark::State& state) {
-  const auto points = cloud(static_cast<std::size_t>(state.range(0)));
-  baselines::GridRangeSearch grid;
-  grid.build(points, 0.02f);
-  for (auto _ : state) {
-    const auto result = grid.search(points, 16);
-    benchmark::DoNotOptimize(result.total_neighbors());
-  }
-}
-BENCHMARK(BM_GridRangeQuery)->Arg(100'000)->Unit(benchmark::kMillisecond);
-
-void BM_OctreeBuild(benchmark::State& state) {
-  const auto points = cloud(static_cast<std::size_t>(state.range(0)));
-  for (auto _ : state) {
-    baselines::Octree octree;
-    octree.build(points);
-    benchmark::DoNotOptimize(octree.node_count());
-  }
-}
-BENCHMARK(BM_OctreeBuild)->Arg(100'000)->Arg(1'000'000)->Unit(benchmark::kMillisecond);
-
-void BM_OctreeKnnQuery(benchmark::State& state) {
-  const auto points = cloud(static_cast<std::size_t>(state.range(0)));
-  baselines::Octree octree;
-  octree.build(points);
-  for (auto _ : state) {
-    const auto result = octree.knn_search(points, 0.05f, 8);
-    benchmark::DoNotOptimize(result.total_neighbors());
-  }
-}
-BENCHMARK(BM_OctreeKnnQuery)->Arg(100'000)->Unit(benchmark::kMillisecond);
-
-void BM_RadixSortPairs(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
-  Pcg32 rng(7);
-  std::vector<std::uint64_t> keys(n);
-  for (auto& k : keys) k = rng.next_u64();
-  for (auto _ : state) {
-    auto k = keys;
-    std::vector<std::uint32_t> v(n);
-    std::iota(v.begin(), v.end(), 0u);
-    radix_sort_pairs(k, v);
-    benchmark::DoNotOptimize(k.data());
-  }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(n));
-}
-BENCHMARK(BM_RadixSortPairs)->Arg(100'000)->Arg(1'000'000)->Unit(benchmark::kMillisecond);
-
-void BM_Morton63(benchmark::State& state) {
-  const auto points = cloud(100'000);
-  const Aabb bounds{{0, 0, 0}, {1, 1, 1}};
-  for (auto _ : state) {
-    std::uint64_t sum = 0;
-    for (const Vec3& p : points) sum += morton3d_63(p, bounds);
-    benchmark::DoNotOptimize(sum);
-  }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 100'000);
-}
-BENCHMARK(BM_Morton63);
-
-void BM_FlatKnnHeapPush(benchmark::State& state) {
-  Pcg32 rng(9);
-  const std::size_t n = 1000;
-  std::vector<float> dists(100'000);
-  for (auto& d : dists) d = rng.next_float();
-  for (auto _ : state) {
-    FlatKnnHeaps heaps(n, 16);
-    for (std::size_t i = 0; i < dists.size(); ++i) {
-      heaps.push(i % n, dists[i], static_cast<std::uint32_t>(i));
-    }
-    benchmark::DoNotOptimize(heaps.worst_dist2(0));
-  }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(dists.size()));
-}
-BENCHMARK(BM_FlatKnnHeapPush);
-
-void BM_AccelBuildLeafSize(benchmark::State& state) {
-  const auto points = cloud(200'000);
-  const auto aabbs = point_aabbs(points, 0.02f);
-  ox::AccelBuildOptions options;
-  options.leaf_size = static_cast<std::uint32_t>(state.range(0));
-  const ox::Context ctx;
-  for (auto _ : state) {
-    const auto accel = ctx.build_accel(aabbs, options);
-    benchmark::DoNotOptimize(accel.prim_count());
-  }
-}
-BENCHMARK(BM_AccelBuildLeafSize)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+RTNN_BENCH_CASE(micro_core, "micro.core",
+                "Micro — substrate primitives (BVH, grid, octree, sort, Morton, heap)",
+                "per-operation costs behind every figure harness",
+                "sizes scale with --scale; 0.02 reproduces the historical "
+                "10k/100k/1M arguments") {
+  // At the default scale of 0.02 the multiplier is 1.0.
+  const double mult = ctx.scale() * 50.0;
+  auto sz = [&](double n) {
+    return static_cast<std::size_t>(std::max(1000.0, n * mult));
+  };
+  std::printf("%-24s %10s %15s %20s\n", "op", "items", "time(min)", "per item");
+
+  // --- BVH build ---
+  for (const double base : {10e3, 100e3, 1000e3}) {
+    const std::size_t n = sz(base);
+    const auto aabbs = point_aabbs(cloud(n, ctx.seed()), 0.02f);
+    const std::string label = "bvh_build." + std::to_string(static_cast<int>(base / 1e3)) + "k";
+    const double s = ctx.time(label,
+                              [&] {
+                                rt::Bvh bvh;
+                                bvh.build(aabbs);
+                              },
+                              {.work_items = static_cast<double>(n)});
+    print_row(label.c_str(), n, s);
+  }
+
+  // --- Traversal: independent and warp-lockstep ---
+  for (const double base : {10e3, 100e3}) {
+    const std::size_t n = sz(base);
+    const auto points = cloud(n, ctx.seed());
+    rt::Bvh bvh;
+    bvh.build(point_aabbs(points, 0.03f));
+    std::vector<Ray> rays;
+    rays.reserve(points.size());
+    for (const Vec3& p : points) rays.push_back(Ray::short_ray(p));
+    NullProgram program;
+    const std::string suffix = std::to_string(static_cast<int>(base / 1e3)) + "k";
+    const double s_ind = ctx.time("traversal." + suffix,
+                                  [&] { rt::trace(bvh, rays, program); },
+                                  {.work_items = static_cast<double>(n)});
+    print_row(("traversal." + suffix).c_str(), n, s_ind);
+    rt::TraceConfig config;
+    config.model = rt::ExecutionModel::kWarpLockstep;
+    const double s_simt = ctx.time("traversal_simt." + suffix,
+                                   [&] { rt::trace(bvh, rays, program, config); },
+                                   {.work_items = static_cast<double>(n)});
+    print_row(("traversal_simt." + suffix).c_str(), n, s_simt);
+  }
+
+  // --- Uniform grid ---
+  for (const double base : {100e3, 1000e3}) {
+    const std::size_t n = sz(base);
+    const auto points = cloud(n, ctx.seed());
+    const std::string suffix = std::to_string(static_cast<int>(base / 1e3)) + "k";
+    const double s = ctx.time("grid_build." + suffix,
+                              [&] {
+                                baselines::GridRangeSearch grid;
+                                grid.build(points, 0.02f);
+                              },
+                              {.work_items = static_cast<double>(n)});
+    print_row(("grid_build." + suffix).c_str(), n, s);
+  }
+  {
+    const std::size_t n = sz(100e3);
+    const auto points = cloud(n, ctx.seed());
+    baselines::GridRangeSearch grid;
+    grid.build(points, 0.02f);
+    const double s = ctx.time("grid_range_query.100k",
+                              [&] { grid.search(points, 16); },
+                              {.work_items = static_cast<double>(n)});
+    print_row("grid_range_query.100k", n, s);
+  }
+
+  // --- Octree ---
+  for (const double base : {100e3, 1000e3}) {
+    const std::size_t n = sz(base);
+    const auto points = cloud(n, ctx.seed());
+    const std::string suffix = std::to_string(static_cast<int>(base / 1e3)) + "k";
+    const double s = ctx.time("octree_build." + suffix,
+                              [&] {
+                                baselines::Octree octree;
+                                octree.build(points);
+                              },
+                              {.work_items = static_cast<double>(n)});
+    print_row(("octree_build." + suffix).c_str(), n, s);
+  }
+  {
+    const std::size_t n = sz(100e3);
+    const auto points = cloud(n, ctx.seed());
+    baselines::Octree octree;
+    octree.build(points);
+    const double s = ctx.time("octree_knn_query.100k",
+                              [&] { octree.knn_search(points, 0.05f, 8); },
+                              {.work_items = static_cast<double>(n)});
+    print_row("octree_knn_query.100k", n, s);
+  }
+
+  // --- Radix sort (key-value pairs) ---
+  for (const double base : {100e3, 1000e3}) {
+    const std::size_t n = sz(base);
+    Pcg32 rng(bench::mix_seed(ctx.seed(), 7));
+    std::vector<std::uint64_t> keys(n);
+    for (auto& k : keys) k = rng.next_u64();
+    const std::string suffix = std::to_string(static_cast<int>(base / 1e3)) + "k";
+    const double s = ctx.time("radix_sort_pairs." + suffix,
+                              [&] {
+                                auto k = keys;
+                                std::vector<std::uint32_t> v(n);
+                                std::iota(v.begin(), v.end(), 0u);
+                                radix_sort_pairs(k, v);
+                              },
+                              {.work_items = static_cast<double>(n)});
+    print_row(("radix_sort_pairs." + suffix).c_str(), n, s);
+  }
+
+  // --- Morton encoding ---
+  {
+    const std::size_t n = sz(100e3);
+    const auto points = cloud(n, ctx.seed());
+    const Aabb bounds{{0, 0, 0}, {1, 1, 1}};
+    volatile std::uint64_t sink = 0;
+    const double s = ctx.time("morton63.100k",
+                              [&] {
+                                std::uint64_t sum = 0;
+                                for (const Vec3& p : points) sum += morton3d_63(p, bounds);
+                                sink = sum;
+                              },
+                              {.work_items = static_cast<double>(n)});
+    (void)sink;
+    print_row("morton63.100k", n, s);
+  }
+
+  // --- FlatKnnHeaps push ---
+  {
+    Pcg32 rng(bench::mix_seed(ctx.seed(), 9));
+    const std::size_t heaps_n = 1000;
+    std::vector<float> dists(sz(100e3));
+    for (auto& d : dists) d = rng.next_float();
+    volatile float sink = 0.0f;  // keeps the fully-inline push loop observable
+    const double s = ctx.time("flat_knn_heap_push.100k",
+                              [&] {
+                                FlatKnnHeaps heaps(heaps_n, 16);
+                                for (std::size_t i = 0; i < dists.size(); ++i) {
+                                  heaps.push(i % heaps_n, dists[i],
+                                             static_cast<std::uint32_t>(i));
+                                }
+                                sink = heaps.worst_dist2(0);
+                              },
+                              {.work_items = static_cast<double>(dists.size())});
+    (void)sink;
+    print_row("flat_knn_heap_push.100k", dists.size(), s);
+  }
+
+  // --- Accel build leaf-size ablation ---
+  {
+    const std::size_t n = sz(200e3);
+    const auto aabbs = point_aabbs(cloud(n, ctx.seed()), 0.02f);
+    const ox::Context ctx_ox;
+    for (const std::uint32_t leaf : {1u, 4u}) {
+      ox::AccelBuildOptions options;
+      options.leaf_size = leaf;
+      const std::string label = "accel_build.leaf" + std::to_string(leaf);
+      const double s = ctx.time(label, [&] { ctx_ox.build_accel(aabbs, options); },
+                                {.work_items = static_cast<double>(n)});
+      print_row(label.c_str(), n, s);
+    }
+  }
+}

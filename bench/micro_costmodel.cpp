@@ -8,25 +8,34 @@
 // numbers to paste into CostModel's defaults when porting to new hardware.
 #include <cstdio>
 
+#include "bench/bench.hpp"
 #include "bench_util.hpp"
 #include "datasets/lidar.hpp"
 #include "rtnn/cost_model.hpp"
 
 using namespace rtnn;
 
-int main() {
-  const double scale = bench::bench_scale();
-  bench::print_figure_header(
-      "Micro — cost model calibration (k1, k2, k3 of §5.2 / Supp. A)",
-      "paper (RTX 2080): k1:k2 ~ 1:15000; k1:k3 = 20:1 (no sphere test) "
-      "or 2:1 (with)");
-
+RTNN_BENCH_CASE(micro_costmodel, "micro.costmodel",
+                "Micro — cost model calibration (k1, k2, k3 of §5.2 / Supp. A)",
+                "paper (RTX 2080): k1:k2 ~ 1:15000; k1:k3 = 20:1 (no sphere test) "
+                "or 2:1 (with)",
+                "only the ratios matter for bundling") {
   data::LidarParams lidar;
-  lidar.target_points = static_cast<std::size_t>(6e6 * scale * 2);
+  lidar.target_points = static_cast<std::size_t>(6e6 * ctx.scale() * 2);
+  lidar.seed = bench::mix_seed(ctx.seed(), lidar.seed);
   const data::PointCloud points = data::lidar_scan(lidar);
   const float radius = bench::auto_radius(points, 16);
 
-  const CostModel model = CostModel::calibrate(points, radius, 16);
+  CostModel model;
+  ctx.time("calibrate", [&] { model = CostModel::calibrate(points, radius, 16); },
+           {.work_items = static_cast<double>(points.size())});
+  ctx.metric("k1_ns", model.k1 * 1e9, "ns");
+  ctx.metric("k2_ns", model.k2 * 1e9, "ns");
+  ctx.metric("k3_slow_ns", model.k3_slow * 1e9, "ns");
+  ctx.metric("k3_fast_ns", model.k3_fast * 1e9, "ns");
+  ctx.metric("ratio.k2_over_k1", model.k2 / model.k1, "x");
+  ctx.metric("ratio.k3_slow_over_fast", model.k3_slow / model.k3_fast, "x");
+
   std::printf("sample: %zu lidar points, r = %.3f, K = 16\n\n", points.size(), radius);
   std::printf("k1 (BVH build / AABB)          = %10.2f ns\n", model.k1 * 1e9);
   std::printf("k2 (KNN IS call)               = %10.2f ns\n", model.k2 * 1e9);
@@ -38,5 +47,4 @@ int main() {
               model.k3_slow / model.k3_fast);
   std::puts("\nTo pin these as library defaults, copy them into CostModel{} in");
   std::puts("src/rtnn/cost_model.hpp (only the ratios matter for bundling).");
-  return 0;
 }

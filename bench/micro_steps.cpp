@@ -9,6 +9,7 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "bench/bench.hpp"
 #include "bench_util.hpp"
 #include "core/flat_knn.hpp"
 #include "datasets/uniform.hpp"
@@ -17,28 +18,15 @@
 
 using namespace rtnn;
 
-namespace {
-
-struct CountOnly {
-  std::uint64_t dummy = 0;
-  Ray raygen(std::uint32_t) const { return Ray{}; }  // unused
-  ox::TraceAction intersection(std::uint32_t, std::uint32_t) {
-    ++dummy;
-    return ox::TraceAction::kContinue;
-  }
-};
-
-}  // namespace
-
-int main() {
-  const double scale = bench::bench_scale();
-  bench::print_figure_header(
-      "Micro — step costs, ray-length false positives, engine/leaf ablations",
-      "Step 2 (IS) ~10x Step 1 (traversal); short rays avoid false-positive "
-      "IS calls");
-
-  const auto n = static_cast<std::size_t>(2e6 * scale * 10);
-  const data::PointCloud points = data::uniform_box(n, {{0, 0, 0}, {1, 1, 1}}, 3);
+RTNN_BENCH_CASE(micro_steps, "micro.steps",
+                "Micro — step costs, ray-length false positives, engine/leaf ablations",
+                "Step 2 (IS) ~10x Step 1 (traversal); short rays avoid false-positive "
+                "IS calls",
+                "on RTX hardware Step 1 runs on dedicated RT cores; on this CPU "
+                "substrate both are scalar code, so the per-event gap narrows") {
+  const auto n = static_cast<std::size_t>(2e6 * ctx.scale() * 10);
+  const data::PointCloud points =
+      data::uniform_box(n, {{0, 0, 0}, {1, 1, 1}}, bench::mix_seed(ctx.seed(), 3));
   const float radius = bench::auto_radius(points, 16);
   std::vector<Aabb> aabbs(n);
   for (std::size_t i = 0; i < n; ++i) aabbs[i] = Aabb::cube(points[i], 2.0f * radius);
@@ -64,13 +52,10 @@ int main() {
     };
     TraversalOnly trav{points};
     ox::LaunchStats stats;
-    ox::launch(accel, trav, static_cast<std::uint32_t>(nq));  // warm-up
-    double t_step1 = 1e30;
-    for (int rep = 0; rep < 3; ++rep) {
-      t_step1 = std::min(t_step1, bench::time_once([&] {
-                  stats = ox::launch(accel, trav, static_cast<std::uint32_t>(nq));
-                }));
-    }
+    const double t_step1 = ctx.time(
+        "step1_traversal",
+        [&] { stats = ox::launch(accel, trav, static_cast<std::uint32_t>(nq)); },
+        {.work_items = static_cast<double>(nq)});
 
     FlatKnnHeaps heaps(nq, 16);
     struct KnnIs {
@@ -86,18 +71,18 @@ int main() {
       }
     };
     KnnIs knn{points, points, radius * radius, &heaps};
-    ox::launch(accel, knn, static_cast<std::uint32_t>(nq));  // warm-up
-    double t_step2 = 1e30;
-    for (int rep = 0; rep < 3; ++rep) {
-      t_step2 = std::min(t_step2, bench::time_once([&] {
-                  ox::launch(accel, knn, static_cast<std::uint32_t>(nq));
-                }));
-    }
+    const double t_step2 = ctx.time(
+        "step2_knn_is",
+        [&] { ox::launch(accel, knn, static_cast<std::uint32_t>(nq)); },
+        {.work_items = static_cast<double>(nq)});
 
     const double step1_per_event =
         1e9 * t_step1 / static_cast<double>(stats.node_visits);
     const double step2_extra_per_is =
         1e9 * (t_step2 - t_step1) / static_cast<double>(stats.is_calls);
+    ctx.metric("step1_ns_per_node_visit", step1_per_event, "ns");
+    ctx.metric("step2_ns_per_is_call", step2_extra_per_is, "ns");
+    ctx.metric("step2_over_step1", step2_extra_per_is / step1_per_event, "x");
     std::printf("Step 1 (traversal) per node visit: %8.1f ns\n", step1_per_event);
     std::printf("Step 2 (KNN IS body) per call:     %8.1f ns  -> ratio %.1fx\n",
                 step2_extra_per_is, step2_extra_per_is / step1_per_event);
@@ -125,12 +110,13 @@ int main() {
     const auto s_short =
         ox::launch(accel, short_probe, static_cast<std::uint32_t>(nq));
     const auto s_long = ox::launch(accel, long_probe, static_cast<std::uint32_t>(nq));
+    const double factor = s_long.is_calls_per_ray() / s_short.is_calls_per_ray();
+    ctx.metric("long_ray_false_positive_factor", factor, "x");
     std::printf("\nIS calls/query — short rays (tmax=1e-16): %.2f, long rays "
                 "(tmax=10r): %.2f\n",
                 s_short.is_calls_per_ray(), s_long.is_calls_per_ray());
     std::printf("long-ray false-positive factor: %.2fx (all extra IS calls are "
-                "rejected by Step 2)\n",
-                s_long.is_calls_per_ray() / s_short.is_calls_per_ray());
+                "rejected by Step 2)\n", factor);
   }
 
   // --- Engine ablation: independent vs warp-lockstep wall clock ---
@@ -138,13 +124,18 @@ int main() {
     NeighborResult result(nq, 16, false);
     pipelines::RangePipeline pipeline(points, points, ids, radius, 16, false, result);
     ox::LaunchOptions opt;
-    const double t_ind = bench::time_once(
-        [&] { ox::launch(accel, pipeline, static_cast<std::uint32_t>(nq), opt); });
+    const double t_ind = ctx.time(
+        "engine.independent",
+        [&] { ox::launch(accel, pipeline, static_cast<std::uint32_t>(nq), opt); },
+        {.work_items = static_cast<double>(nq)});
     NeighborResult result2(nq, 16, false);
     pipelines::RangePipeline pipeline2(points, points, ids, radius, 16, false, result2);
     opt.model = ox::ExecutionModel::kWarpLockstep;
-    const double t_simt = bench::time_once(
-        [&] { ox::launch(accel, pipeline2, static_cast<std::uint32_t>(nq), opt); });
+    const double t_simt = ctx.time(
+        "engine.lockstep",
+        [&] { ox::launch(accel, pipeline2, static_cast<std::uint32_t>(nq), opt); },
+        {.work_items = static_cast<double>(nq)});
+    ctx.metric("lockstep_overhead", t_simt / t_ind, "x");
     std::printf("\nengine ablation: independent %.3fs vs warp-lockstep %.3fs "
                 "(%.2fx lockstep overhead)\n",
                 t_ind, t_simt, t_simt / t_ind);
@@ -157,18 +148,21 @@ int main() {
     for (const std::uint32_t leaf : {1u, 2u, 4u, 8u}) {
       ox::AccelBuildOptions build_opts;
       build_opts.leaf_size = leaf;
-      double t_build = 0.0;
+      const std::string suffix = "leaf" + std::to_string(leaf);
       ox::Accel a;
-      t_build = bench::time_once([&] { a = ox::Context{}.build_accel(aabbs, build_opts); });
+      const double t_build =
+          ctx.time("build." + suffix,
+                   [&] { a = ox::Context{}.build_accel(aabbs, build_opts); },
+                   {.work_items = static_cast<double>(n)});
       NeighborResult result(nq, 16, false);
       pipelines::RangePipeline pipeline(points, points, ids, radius, 16, false, result);
       ox::LaunchStats stats;
-      const double t_search = bench::time_once([&] {
-        stats = ox::launch(a, pipeline, static_cast<std::uint32_t>(nq));
-      });
+      const double t_search = ctx.time(
+          "search." + suffix,
+          [&] { stats = ox::launch(a, pipeline, static_cast<std::uint32_t>(nq)); },
+          {.work_items = static_cast<double>(nq)});
       std::printf("%10u %12.3f %12.3f %14.2f\n", leaf, t_build, t_search,
                   stats.is_calls_per_ray());
     }
   }
-  return 0;
 }

@@ -1,0 +1,14 @@
+// Umbrella header for the benchmark-runner subsystem.
+//
+//   #include "bench/bench.hpp"
+//
+// Layers: registry (BenchCase registration) -> runner (warmup/repeat
+// policy, CaseContext measurement API) -> stats (min/median/MAD/geomean)
+// -> report (environment capture + versioned JSON). The rtnn_bench CLI
+// (bench/main.cpp) drives them; see README.md "Benchmarking".
+#pragma once
+
+#include "bench/registry.hpp"
+#include "bench/report.hpp"
+#include "bench/runner.hpp"
+#include "bench/stats.hpp"

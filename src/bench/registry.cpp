@@ -1,0 +1,47 @@
+#include "bench/registry.hpp"
+
+#include <algorithm>
+#include <regex>
+
+#include "core/error.hpp"
+
+namespace rtnn::bench {
+
+BenchRegistry& BenchRegistry::instance() {
+  static BenchRegistry registry;
+  return registry;
+}
+
+bool BenchRegistry::add(CaseInfo info) {
+  RTNN_CHECK(!info.name.empty(), "bench case needs a name");
+  RTNN_CHECK(static_cast<bool>(info.fn), "bench case '" + info.name + "' has no body");
+  for (const CaseInfo& existing : cases_) {
+    RTNN_CHECK(existing.name != info.name,
+               "duplicate bench case name: " + info.name);
+  }
+  const auto pos = std::lower_bound(
+      cases_.begin(), cases_.end(), info,
+      [](const CaseInfo& a, const CaseInfo& b) { return a.name < b.name; });
+  cases_.insert(pos, std::move(info));
+  return true;
+}
+
+std::vector<const CaseInfo*> BenchRegistry::match(const std::string& filter) const {
+  std::vector<const CaseInfo*> out;
+  if (filter.empty()) {
+    for (const CaseInfo& c : cases_) out.push_back(&c);
+    return out;
+  }
+  std::regex re;
+  try {
+    re = std::regex(filter, std::regex::ECMAScript);
+  } catch (const std::regex_error& e) {
+    throw Error("bad --filter regex '" + filter + "': " + e.what());
+  }
+  for (const CaseInfo& c : cases_) {
+    if (std::regex_search(c.name, re)) out.push_back(&c);
+  }
+  return out;
+}
+
+}  // namespace rtnn::bench

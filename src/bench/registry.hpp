@@ -1,0 +1,56 @@
+// BenchCase registry: every figure/micro harness registers itself here at
+// static-init time and the rtnn_bench CLI lists/filters/runs them.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace rtnn::bench {
+
+class CaseContext;
+
+/// One registered benchmark case (one paper figure or micro suite).
+struct CaseInfo {
+  std::string name;   // stable id used by --filter and JSON ("fig11", "micro.steps")
+  std::string title;  // header line ("Figure 11 — ...")
+  std::string paper;  // the paper's headline result for this figure
+  std::string note;   // substrate note (optional)
+  std::function<void(CaseContext&)> fn;
+};
+
+class BenchRegistry {
+ public:
+  /// The process-wide registry.
+  static BenchRegistry& instance();
+
+  /// Registers a case; throws rtnn::Error on a duplicate name. Returns
+  /// true so the RTNN_BENCH_CASE macro can register from a static
+  /// initializer.
+  bool add(CaseInfo info);
+
+  /// All cases, sorted by name.
+  const std::vector<CaseInfo>& cases() const { return cases_; }
+
+  /// Cases whose name matches `filter` as a partial ECMAScript regex
+  /// (empty filter = all cases). Throws rtnn::Error on a bad pattern.
+  std::vector<const CaseInfo*> match(const std::string& filter) const;
+
+ private:
+  std::vector<CaseInfo> cases_;
+};
+
+/// Defines and registers a bench case:
+///
+///   RTNN_BENCH_CASE(fig11, "fig11", "Figure 11 — ...", "paper result", "") {
+///     auto ds = bench::paper_dataset("KITTI-1M", ctx.scale(), 16, ctx.seed());
+///     ctx.time("range.rtnn.KITTI-1M", [&] { ... });
+///   }
+#define RTNN_BENCH_CASE(ident, name, title, paper, note)                     \
+  static void rtnn_bench_run_##ident(::rtnn::bench::CaseContext& ctx);       \
+  [[maybe_unused]] static const bool rtnn_bench_registered_##ident =         \
+      ::rtnn::bench::BenchRegistry::instance().add(                          \
+          {name, title, paper, note, &rtnn_bench_run_##ident});              \
+  static void rtnn_bench_run_##ident(::rtnn::bench::CaseContext& ctx)
+
+}  // namespace rtnn::bench

@@ -1,0 +1,178 @@
+#include "bench/report.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "core/error.hpp"
+#include "core/parallel.hpp"
+
+#ifndef RTNN_GIT_SHA
+#define RTNN_GIT_SHA "unknown"
+#endif
+#ifndef RTNN_BUILD_TYPE
+#define RTNN_BUILD_TYPE "unknown"
+#endif
+
+namespace rtnn::bench {
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// JSON has no NaN/Inf; clamp to 0 (only arises from degenerate runs).
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "0";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+void append_timing(std::ostringstream& os, const TimingRecord& t, const char* indent) {
+  os << indent << "{\n";
+  os << indent << "  \"name\": \"" << json_escape(t.name) << "\",\n";
+  os << indent << "  \"unit\": \"s\",\n";
+  os << indent << "  \"samples\": [";
+  for (std::size_t i = 0; i < t.stats.samples.size(); ++i) {
+    if (i) os << ", ";
+    os << json_number(t.stats.samples[i]);
+  }
+  os << "],\n";
+  os << indent << "  \"min\": " << json_number(t.stats.min) << ",\n";
+  os << indent << "  \"max\": " << json_number(t.stats.max) << ",\n";
+  os << indent << "  \"mean\": " << json_number(t.stats.mean) << ",\n";
+  os << indent << "  \"median\": " << json_number(t.stats.median) << ",\n";
+  os << indent << "  \"mad\": " << json_number(t.stats.mad) << ",\n";
+  os << indent << "  \"work_items\": " << json_number(t.work_items) << ",\n";
+  os << indent << "  \"throughput_per_s\": " << json_number(t.throughput) << "\n";
+  os << indent << "}";
+}
+
+void append_metric(std::ostringstream& os, const MetricRecord& m, const char* indent) {
+  os << indent << "{ \"name\": \"" << json_escape(m.name)
+     << "\", \"value\": " << json_number(m.value) << ", \"unit\": \""
+     << json_escape(m.unit) << "\" }";
+}
+
+}  // namespace
+
+Environment capture_environment() {
+  Environment env;
+  if (const char* sha = std::getenv("RTNN_GIT_SHA")) {
+    env.git_sha = sha;
+  } else if (const char* sha2 = std::getenv("GITHUB_SHA")) {
+    env.git_sha = sha2;
+  } else {
+    env.git_sha = RTNN_GIT_SHA;
+  }
+#if defined(__clang__)
+  env.compiler = std::string("clang ") + __clang_version__;
+#elif defined(__GNUC__)
+  env.compiler = std::string("gcc ") + __VERSION__;
+#else
+  env.compiler = "unknown";
+#endif
+  env.build_type = RTNN_BUILD_TYPE;
+#if defined(__linux__)
+  env.os = "linux";
+#elif defined(__APPLE__)
+  env.os = "darwin";
+#elif defined(_WIN32)
+  env.os = "windows";
+#else
+  env.os = "unknown";
+#endif
+  env.threads = num_threads();
+  env.hardware_concurrency = static_cast<int>(std::thread::hardware_concurrency());
+  return env;
+}
+
+std::string report_json(const SuiteResult& suite, const Environment& env,
+                        const std::string& tag) {
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"schema_version\": " << kReportSchemaVersion << ",\n";
+  os << "  \"generator\": \"rtnn_bench\",\n";
+  os << "  \"tag\": \"" << json_escape(tag) << "\",\n";
+  os << "  \"environment\": {\n";
+  os << "    \"git_sha\": \"" << json_escape(env.git_sha) << "\",\n";
+  os << "    \"compiler\": \"" << json_escape(env.compiler) << "\",\n";
+  os << "    \"build_type\": \"" << json_escape(env.build_type) << "\",\n";
+  os << "    \"os\": \"" << json_escape(env.os) << "\",\n";
+  os << "    \"threads\": " << env.threads << ",\n";
+  os << "    \"hardware_concurrency\": " << env.hardware_concurrency << "\n";
+  os << "  },\n";
+  os << "  \"options\": {\n";
+  os << "    \"filter\": \"" << json_escape(suite.options.filter) << "\",\n";
+  os << "    \"repeats\": " << suite.options.repeats << ",\n";
+  os << "    \"warmup\": " << suite.options.warmup << ",\n";
+  os << "    \"scale\": " << json_number(suite.options.scale) << ",\n";
+  os << "    \"seed\": " << suite.options.seed << "\n";
+  os << "  },\n";
+  os << "  \"cases\": [\n";
+  for (std::size_t c = 0; c < suite.results.size(); ++c) {
+    const CaseResult& r = suite.results[c];
+    os << "    {\n";
+    os << "      \"name\": \"" << json_escape(r.name) << "\",\n";
+    os << "      \"status\": \"" << json_escape(r.status) << "\",\n";
+    if (!r.error.empty()) {
+      os << "      \"error\": \"" << json_escape(r.error) << "\",\n";
+    }
+    os << "      \"wall_seconds\": " << json_number(r.wall_seconds) << ",\n";
+    os << "      \"timings\": [\n";
+    for (std::size_t i = 0; i < r.timings.size(); ++i) {
+      append_timing(os, r.timings[i], "        ");
+      os << (i + 1 < r.timings.size() ? ",\n" : "\n");
+    }
+    os << "      ],\n";
+    os << "      \"metrics\": [\n";
+    for (std::size_t i = 0; i < r.metrics.size(); ++i) {
+      append_metric(os, r.metrics[i], "        ");
+      os << (i + 1 < r.metrics.size() ? ",\n" : "\n");
+    }
+    os << "      ]\n";
+    os << "    }" << (c + 1 < suite.results.size() ? ",\n" : "\n");
+  }
+  os << "  ]\n";
+  os << "}\n";
+  return os.str();
+}
+
+void write_report(const std::string& path, const SuiteResult& suite,
+                  const Environment& env, const std::string& tag) {
+  std::ofstream out(path);
+  RTNN_CHECK(out.good(), "cannot open report file: " + path);
+  out << report_json(suite, env, tag);
+  out.flush();
+  RTNN_CHECK(out.good(), "failed writing report file: " + path);
+}
+
+std::string default_report_path(const std::string& tag) {
+  return "BENCH_" + tag + ".json";
+}
+
+}  // namespace rtnn::bench

@@ -1,0 +1,58 @@
+// Machine-readable perf reports: environment capture + the versioned JSON
+// writer behind `rtnn_bench --json` / BENCH_<tag>.json.
+//
+// Schema (version 1):
+//
+//   {
+//     "schema_version": 1,
+//     "generator": "rtnn_bench",
+//     "tag": "<tag>",
+//     "environment": { "git_sha", "compiler", "build_type", "os",
+//                      "threads", "hardware_concurrency" },
+//     "options":     { "filter", "repeats", "warmup", "scale", "seed" },
+//     "cases": [ {
+//       "name", "status", "error"?, "wall_seconds",
+//       "timings": [ { "name", "unit": "s", "samples": [...],
+//                      "min", "max", "mean", "median", "mad",
+//                      "work_items", "throughput_per_s" } ],
+//       "metrics": [ { "name", "value", "unit" } ]
+//     } ]
+//   }
+//
+// Consumers key timings by (case name, timing name); those names are
+// stable across scales and machines. tools/bench_compare.py implements
+// the CI regression gate over this schema.
+#pragma once
+
+#include <string>
+
+#include "bench/runner.hpp"
+
+namespace rtnn::bench {
+
+/// Bump when the JSON layout changes incompatibly.
+inline constexpr int kReportSchemaVersion = 1;
+
+struct Environment {
+  std::string git_sha;     // GITHUB_SHA/RTNN_GIT_SHA env, else configure-time sha
+  std::string compiler;    // e.g. "gcc 12.2.0"
+  std::string build_type;  // CMAKE_BUILD_TYPE at compile time
+  std::string os;
+  int threads = 1;               // rtnn worker threads
+  int hardware_concurrency = 0;  // std::thread::hardware_concurrency
+};
+
+Environment capture_environment();
+
+/// The full report as a JSON string (pretty-printed, trailing newline).
+std::string report_json(const SuiteResult& suite, const Environment& env,
+                        const std::string& tag);
+
+/// Writes report_json() to `path`; throws rtnn::Error on I/O failure.
+void write_report(const std::string& path, const SuiteResult& suite,
+                  const Environment& env, const std::string& tag);
+
+/// "BENCH_<tag>.json"
+std::string default_report_path(const std::string& tag);
+
+}  // namespace rtnn::bench

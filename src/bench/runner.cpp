@@ -1,0 +1,93 @@
+#include "bench/runner.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <exception>
+
+#include "core/parallel.hpp"
+#include "core/timing.hpp"
+
+namespace rtnn::bench {
+
+bool SuiteResult::all_ok() const {
+  return std::all_of(results.begin(), results.end(),
+                     [](const CaseResult& r) { return r.status == "ok"; });
+}
+
+double CaseContext::sample(const std::string& name, const std::function<double()>& fn,
+                           const TimeOptions& opts) {
+  const int repeats = std::max(1, opts.repeats >= 0 ? opts.repeats : options_.repeats);
+  const int warmup = std::max(0, opts.warmup >= 0 ? opts.warmup : options_.warmup);
+  for (int i = 0; i < warmup; ++i) (void)fn();
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(repeats));
+  for (int i = 0; i < repeats; ++i) samples.push_back(fn());
+
+  TimingRecord record;
+  record.name = name;
+  record.stats = Stats::from_samples(std::move(samples));
+  record.work_items = opts.work_items;
+  if (opts.work_items > 0.0 && record.stats.median > 0.0) {
+    record.throughput = opts.work_items / record.stats.median;
+  }
+  const double min = record.stats.min;
+  result_.timings.push_back(std::move(record));
+  return min;
+}
+
+double CaseContext::time(const std::string& name, const std::function<void()>& fn,
+                         const TimeOptions& opts) {
+  return sample(name, [&fn] { return time_call(fn); }, opts);
+}
+
+void CaseContext::metric(const std::string& name, double value, const std::string& unit) {
+  result_.metrics.push_back({name, value, unit});
+}
+
+namespace {
+
+void print_case_header(const CaseInfo& info, const RunnerOptions& options) {
+  std::printf("\n================================================================\n");
+  std::printf("[%s] %s\n", info.name.c_str(), info.title.c_str());
+  std::printf("paper: %s\n", info.paper.c_str());
+  if (!info.note.empty()) std::printf("note:  %s\n", info.note.c_str());
+  std::printf("scale: %gx paper sizes, threads=%d, seed=%llu, repeats=%d+%d warmup\n",
+              options.scale, num_threads(),
+              static_cast<unsigned long long>(options.seed), options.repeats,
+              options.warmup);
+  std::printf("================================================================\n");
+  std::fflush(stdout);
+}
+
+}  // namespace
+
+SuiteResult run_cases(const std::vector<const CaseInfo*>& cases,
+                      const RunnerOptions& options) {
+  SuiteResult suite;
+  suite.options = options;
+  for (const CaseInfo* info : cases) {
+    CaseResult result;
+    result.name = info->name;
+    if (options.verbose) print_case_header(*info, options);
+    CaseContext ctx(options, result);
+    Timer timer;
+    try {
+      info->fn(ctx);
+    } catch (const std::exception& e) {
+      result.status = "error";
+      result.error = e.what();
+      std::fprintf(stderr, "[%s] FAILED: %s\n", info->name.c_str(), e.what());
+    }
+    result.wall_seconds = timer.elapsed();
+    if (options.verbose) {
+      std::printf("[%s] %s in %.2fs (%zu timings, %zu metrics)\n", info->name.c_str(),
+                  result.status.c_str(), result.wall_seconds, result.timings.size(),
+                  result.metrics.size());
+      std::fflush(stdout);
+    }
+    suite.results.push_back(std::move(result));
+  }
+  return suite;
+}
+
+}  // namespace rtnn::bench

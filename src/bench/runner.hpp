@@ -1,0 +1,102 @@
+// The benchmark runner: executes registered cases under a warmup/repeat
+// policy and collects named timings + scalar metrics into machine-readable
+// results (see bench/report.hpp for the JSON form).
+//
+// Measurement policy: every CaseContext::time()/sample() call runs
+// `warmup` discarded invocations followed by `repeats` measured ones and
+// records the full sample vector with min/median/MAD. The return value is
+// the min — the number the per-figure console tables print.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bench/registry.hpp"
+#include "bench/stats.hpp"
+
+namespace rtnn::bench {
+
+struct RunnerOptions {
+  int repeats = 3;  // measured invocations per timing
+  int warmup = 1;   // discarded invocations per timing
+  double scale = 0.02;       // dataset scale relative to the paper
+  std::uint64_t seed = 0;    // dataset RNG seed offset (0 = canonical sets)
+  bool verbose = true;       // print per-case headers and footers
+  std::string filter;        // recorded in the report for provenance
+};
+
+/// One named timing: the repeated-measurement record behind a table cell.
+struct TimingRecord {
+  std::string name;
+  Stats stats;                // seconds
+  double work_items = 0.0;    // items per invocation (0 = not throughput-bearing)
+  double throughput = 0.0;    // work_items / median seconds
+};
+
+/// One named scalar (speedup, hit rate, exponent, counter...).
+struct MetricRecord {
+  std::string name;
+  double value = 0.0;
+  std::string unit;  // "x", "%", "ns", "" ...
+};
+
+struct CaseResult {
+  std::string name;
+  std::string status = "ok";  // "ok" | "error"
+  std::string error;          // what() when status == "error"
+  double wall_seconds = 0.0;
+  std::vector<TimingRecord> timings;
+  std::vector<MetricRecord> metrics;
+};
+
+struct SuiteResult {
+  RunnerOptions options;
+  std::vector<CaseResult> results;
+  bool all_ok() const;
+};
+
+/// Per-call overrides for CaseContext::time()/sample().
+struct TimeOptions {
+  int repeats = -1;        // <0 = runner default
+  int warmup = -1;         // <0 = runner default
+  double work_items = 0.0; // enables queries/sec (items/sec) throughput
+};
+
+/// Handed to each case body: measurement API + run parameters.
+class CaseContext {
+ public:
+  CaseContext(const RunnerOptions& options, CaseResult& result)
+      : options_(options), result_(result) {}
+
+  double scale() const { return options_.scale; }
+  std::uint64_t seed() const { return options_.seed; }
+  int repeats() const { return options_.repeats; }
+  int warmup() const { return options_.warmup; }
+
+  /// Times `fn` under the warmup/repeat policy, records the stats under
+  /// `name`, and returns the min in seconds.
+  double time(const std::string& name, const std::function<void()>& fn,
+              const TimeOptions& opts = {});
+
+  /// Like time(), but `fn` returns the sample value itself — for
+  /// sub-phase timings (e.g. report.time.search) where wall clock of the
+  /// whole call would over-count.
+  double sample(const std::string& name, const std::function<double()>& fn,
+                const TimeOptions& opts = {});
+
+  /// Records a derived scalar under `name`.
+  void metric(const std::string& name, double value, const std::string& unit = "");
+
+ private:
+  const RunnerOptions& options_;
+  CaseResult& result_;
+};
+
+/// Runs `cases` in order; a case that throws is recorded as status
+/// "error" and the suite continues.
+SuiteResult run_cases(const std::vector<const CaseInfo*>& cases,
+                      const RunnerOptions& options);
+
+}  // namespace rtnn::bench

@@ -1,0 +1,56 @@
+#include "bench/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/timing.hpp"
+
+namespace rtnn::bench {
+
+double median_of(std::vector<double> values) {
+  if (values.empty()) return 0.0;
+  const std::size_t mid = values.size() / 2;
+  std::nth_element(values.begin(), values.begin() + mid, values.end());
+  const double upper = values[mid];
+  if (values.size() % 2 == 1) return upper;
+  const double lower = *std::max_element(values.begin(), values.begin() + mid);
+  return 0.5 * (lower + upper);
+}
+
+double mad_of(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  const double med = median_of(values);
+  std::vector<double> deviations;
+  deviations.reserve(values.size());
+  for (const double v : values) deviations.push_back(std::abs(v - med));
+  return median_of(std::move(deviations));
+}
+
+double geomean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double log_sum = 0.0;
+  for (const double v : values) log_sum += std::log(std::max(v, 1e-300));
+  return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+double time_call(const std::function<void()>& fn) {
+  Timer timer;
+  fn();
+  return timer.elapsed();
+}
+
+Stats Stats::from_samples(std::vector<double> samples) {
+  Stats s;
+  s.samples = std::move(samples);
+  if (s.samples.empty()) return s;
+  s.min = *std::min_element(s.samples.begin(), s.samples.end());
+  s.max = *std::max_element(s.samples.begin(), s.samples.end());
+  double sum = 0.0;
+  for (const double v : s.samples) sum += v;
+  s.mean = sum / static_cast<double>(s.samples.size());
+  s.median = median_of(s.samples);
+  s.mad = mad_of(s.samples);
+  return s;
+}
+
+}  // namespace rtnn::bench

@@ -1,0 +1,42 @@
+// Robust summary statistics for repeated measurements.
+//
+// The runner's policy is min-of-N for headline numbers (min is the least
+// noise-contaminated estimator of the true cost on a quiet machine) with
+// median/MAD reported alongside so regressions can be judged against a
+// robust location/spread pair instead of a single shot.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+namespace rtnn::bench {
+
+/// Summary of one repeated measurement. All fields are 0 for an empty
+/// sample set (the documented degenerate value — see stats tests).
+struct Stats {
+  std::vector<double> samples;  // in execution order
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double median = 0.0;
+  double mad = 0.0;  // median absolute deviation from the median
+
+  static Stats from_samples(std::vector<double> samples);
+};
+
+/// Median (average of the middle two for even sizes); 0 on empty input.
+double median_of(std::vector<double> values);
+
+/// Median absolute deviation from the median; 0 on empty input.
+double mad_of(const std::vector<double>& values);
+
+/// Geometric mean; 0 on empty input.
+double geomean(const std::vector<double>& values);
+
+/// Wall-clock seconds of one invocation (steady clock). The single-shot
+/// primitive under CaseContext::time(); benches should prefer the
+/// context's min-of-N API and reach for this only inside search loops
+/// that are themselves a min over many trials (e.g. the fig13 Oracle).
+double time_call(const std::function<void()>& fn);
+
+}  // namespace rtnn::bench

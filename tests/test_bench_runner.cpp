@@ -1,0 +1,273 @@
+// The benchmark-runner subsystem (src/bench/): case registration,
+// repeat/warmup accounting, the robust statistics, and a golden-schema
+// check of the emitted JSON report.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench.hpp"
+#include "core/error.hpp"
+
+namespace rtnn::bench {
+namespace {
+
+// ---- stats ------------------------------------------------------------------
+
+TEST(BenchStats, MedianOddEven) {
+  EXPECT_DOUBLE_EQ(median_of({3.0}), 3.0);
+  EXPECT_DOUBLE_EQ(median_of({5.0, 1.0, 3.0}), 3.0);
+  EXPECT_DOUBLE_EQ(median_of({4.0, 1.0, 3.0, 2.0}), 2.5);
+}
+
+TEST(BenchStats, EmptyInputsAreZero) {
+  EXPECT_DOUBLE_EQ(median_of({}), 0.0);
+  EXPECT_DOUBLE_EQ(mad_of({}), 0.0);
+  EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+  const Stats s = Stats::from_samples({});
+  EXPECT_DOUBLE_EQ(s.min, 0.0);
+  EXPECT_DOUBLE_EQ(s.median, 0.0);
+  EXPECT_DOUBLE_EQ(s.mad, 0.0);
+  EXPECT_TRUE(s.samples.empty());
+}
+
+TEST(BenchStats, Mad) {
+  // median = 3, |x - 3| = {2, 1, 0, 1, 2} -> MAD = 1.
+  EXPECT_DOUBLE_EQ(mad_of({1.0, 2.0, 3.0, 4.0, 5.0}), 1.0);
+  // A constant series has zero spread.
+  EXPECT_DOUBLE_EQ(mad_of({7.0, 7.0, 7.0}), 0.0);
+}
+
+TEST(BenchStats, Geomean) {
+  EXPECT_DOUBLE_EQ(geomean({4.0}), 4.0);
+  EXPECT_NEAR(geomean({1.0, 4.0}), 2.0, 1e-12);
+  EXPECT_NEAR(geomean({2.0, 8.0}), 4.0, 1e-12);
+  // Non-positive values are clamped rather than producing NaN.
+  EXPECT_GT(geomean({0.0, 1.0}), 0.0);
+}
+
+TEST(BenchStats, FromSamplesSummaries) {
+  const Stats s = Stats::from_samples({3.0, 1.0, 2.0, 10.0});
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 10.0);
+  EXPECT_DOUBLE_EQ(s.mean, 4.0);
+  EXPECT_DOUBLE_EQ(s.median, 2.5);
+  ASSERT_EQ(s.samples.size(), 4u);
+  EXPECT_DOUBLE_EQ(s.samples[0], 3.0);  // execution order preserved
+}
+
+// ---- registry ---------------------------------------------------------------
+
+TEST(BenchRegistry, RegistersAndMatches) {
+  BenchRegistry registry;  // local instance: the global one belongs to rtnn_bench
+  registry.add({"t.alpha", "Alpha", "paper", "", [](CaseContext&) {}});
+  registry.add({"t.beta", "Beta", "paper", "", [](CaseContext&) {}});
+  ASSERT_EQ(registry.cases().size(), 2u);
+  EXPECT_EQ(registry.cases()[0].name, "t.alpha");  // sorted
+
+  EXPECT_EQ(registry.match("").size(), 2u);
+  const auto only_beta = registry.match("beta");
+  ASSERT_EQ(only_beta.size(), 1u);
+  EXPECT_EQ(only_beta[0]->name, "t.beta");
+  EXPECT_EQ(registry.match("alpha|beta").size(), 2u);
+  EXPECT_TRUE(registry.match("nomatch").empty());
+}
+
+TEST(BenchRegistry, RejectsDuplicatesAndBadInput) {
+  BenchRegistry registry;
+  registry.add({"t.dup", "x", "y", "", [](CaseContext&) {}});
+  EXPECT_THROW(registry.add({"t.dup", "x", "y", "", [](CaseContext&) {}}), Error);
+  EXPECT_THROW(registry.add({"", "x", "y", "", [](CaseContext&) {}}), Error);
+  EXPECT_THROW(registry.add({"t.nofn", "x", "y", "", nullptr}), Error);
+  EXPECT_THROW(registry.match("(unclosed"), Error);
+}
+
+// ---- runner -----------------------------------------------------------------
+
+RunnerOptions quiet_options() {
+  RunnerOptions options;
+  options.verbose = false;
+  return options;
+}
+
+TEST(BenchRunner, RepeatWarmupAccounting) {
+  RunnerOptions options = quiet_options();
+  options.repeats = 4;
+  options.warmup = 2;
+  CaseResult result;
+  CaseContext ctx(options, result);
+
+  int calls = 0;
+  ctx.time("counted", [&] { ++calls; });
+  EXPECT_EQ(calls, 6);  // 2 warmup + 4 measured
+  ASSERT_EQ(result.timings.size(), 1u);
+  EXPECT_EQ(result.timings[0].stats.samples.size(), 4u);  // warmup discarded
+
+  // Per-call overrides beat the runner defaults.
+  calls = 0;
+  ctx.time("overridden", [&] { ++calls; }, {.repeats = 1, .warmup = 0});
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(result.timings[1].stats.samples.size(), 1u);
+}
+
+TEST(BenchRunner, SampleUsesReturnedValuesAndReturnsMin) {
+  RunnerOptions options = quiet_options();
+  options.repeats = 3;
+  options.warmup = 1;
+  CaseResult result;
+  CaseContext ctx(options, result);
+
+  // Warmup consumes the first value; samples are {5, 3, 4}.
+  const std::vector<double> values = {9.0, 5.0, 3.0, 4.0};
+  std::size_t i = 0;
+  const double min = ctx.sample("seq", [&] { return values[i++]; });
+  EXPECT_DOUBLE_EQ(min, 3.0);
+  ASSERT_EQ(result.timings.size(), 1u);
+  EXPECT_DOUBLE_EQ(result.timings[0].stats.median, 4.0);
+  EXPECT_DOUBLE_EQ(result.timings[0].stats.mad, 1.0);
+}
+
+TEST(BenchRunner, ThroughputFromWorkItems) {
+  RunnerOptions options = quiet_options();
+  options.repeats = 3;
+  options.warmup = 0;
+  CaseResult result;
+  CaseContext ctx(options, result);
+
+  const std::vector<double> values = {2.0, 4.0, 8.0};  // median 4s
+  std::size_t i = 0;
+  ctx.sample("tp", [&] { return values[i++]; }, {.work_items = 100.0});
+  EXPECT_DOUBLE_EQ(result.timings[0].throughput, 25.0);  // 100 items / 4 s
+  // No work_items -> no throughput claim.
+  i = 0;
+  ctx.sample("no_tp", [&] { return values[i++]; });
+  EXPECT_DOUBLE_EQ(result.timings[1].throughput, 0.0);
+}
+
+TEST(BenchRunner, RunCasesRecordsErrorsAndContinues) {
+  const CaseInfo failing{"t.fail", "Failing", "p", "", [](CaseContext&) {
+                           throw Error("deliberate");
+                         }};
+  const CaseInfo passing{"t.pass", "Passing", "p", "", [](CaseContext& ctx) {
+                           ctx.metric("answer", 42.0);
+                         }};
+  const SuiteResult suite =
+      run_cases({&failing, &passing}, quiet_options());
+  ASSERT_EQ(suite.results.size(), 2u);
+  EXPECT_EQ(suite.results[0].status, "error");
+  EXPECT_NE(suite.results[0].error.find("deliberate"), std::string::npos);
+  EXPECT_EQ(suite.results[1].status, "ok");
+  ASSERT_EQ(suite.results[1].metrics.size(), 1u);
+  EXPECT_DOUBLE_EQ(suite.results[1].metrics[0].value, 42.0);
+  EXPECT_FALSE(suite.all_ok());
+}
+
+// ---- report (golden schema) -------------------------------------------------
+
+/// Structural sanity: every brace/bracket closes, honoring strings.
+bool json_balanced(const std::string& json) {
+  int depth = 0;
+  bool in_string = false;
+  for (std::size_t i = 0; i < json.size(); ++i) {
+    const char c = json[i];
+    if (in_string) {
+      if (c == '\\') ++i;
+      else if (c == '"') in_string = false;
+      continue;
+    }
+    if (c == '"') in_string = true;
+    else if (c == '{' || c == '[') ++depth;
+    else if (c == '}' || c == ']') {
+      if (--depth < 0) return false;
+    }
+  }
+  return depth == 0 && !in_string;
+}
+
+SuiteResult golden_suite() {
+  const CaseInfo c{"t.golden", "Golden", "p", "", [](CaseContext& ctx) {
+                     std::size_t i = 0;
+                     const std::vector<double> values = {2.0, 1.0, 3.0};
+                     ctx.sample("timing \"quoted\"", [&] { return values[i++]; },
+                                {.work_items = 10.0});
+                     ctx.metric("speedup", 2.5, "x");
+                   }};
+  RunnerOptions options;
+  options.verbose = false;
+  options.repeats = 3;
+  options.warmup = 0;
+  options.filter = "t.golden";
+  return run_cases({&c}, options);
+}
+
+TEST(BenchReport, GoldenSchema) {
+  const SuiteResult suite = golden_suite();
+  const Environment env = capture_environment();
+  const std::string json = report_json(suite, env, "testtag");
+
+  EXPECT_TRUE(json_balanced(json));
+  // Versioned schema + provenance.
+  EXPECT_NE(json.find("\"schema_version\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"generator\": \"rtnn_bench\""), std::string::npos);
+  EXPECT_NE(json.find("\"tag\": \"testtag\""), std::string::npos);
+  for (const char* key : {"\"git_sha\"", "\"compiler\"", "\"build_type\"", "\"os\"",
+                          "\"threads\"", "\"hardware_concurrency\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+  }
+  // Options echo.
+  EXPECT_NE(json.find("\"filter\": \"t.golden\""), std::string::npos);
+  EXPECT_NE(json.find("\"repeats\": 3"), std::string::npos);
+  // Case payload: stats fields the CI compare keys on.
+  EXPECT_NE(json.find("\"name\": \"t.golden\""), std::string::npos);
+  EXPECT_NE(json.find("\"status\": \"ok\""), std::string::npos);
+  for (const char* key : {"\"samples\"", "\"min\"", "\"max\"", "\"mean\"",
+                          "\"median\"", "\"mad\"", "\"work_items\"",
+                          "\"throughput_per_s\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+  }
+  EXPECT_NE(json.find("\"median\": 2"), std::string::npos);
+  // String escaping.
+  EXPECT_NE(json.find("timing \\\"quoted\\\""), std::string::npos);
+  // Metrics.
+  EXPECT_NE(json.find("\"value\": 2.5"), std::string::npos);
+  EXPECT_NE(json.find("\"unit\": \"x\""), std::string::npos);
+}
+
+TEST(BenchReport, ErrorStatusAndEmptySuiteAreValid) {
+  const CaseInfo failing{"t.err", "Err", "p", "", [](CaseContext&) {
+                           throw Error("boom \"quoted\"");
+                         }};
+  RunnerOptions options;
+  options.verbose = false;
+  const SuiteResult suite = run_cases({&failing}, options);
+  const std::string json = report_json(suite, capture_environment(), "t");
+  EXPECT_TRUE(json_balanced(json));
+  EXPECT_NE(json.find("\"status\": \"error\""), std::string::npos);
+  EXPECT_NE(json.find("boom \\\"quoted\\\""), std::string::npos);
+
+  const SuiteResult empty{};
+  EXPECT_TRUE(json_balanced(report_json(empty, capture_environment(), "t")));
+}
+
+TEST(BenchReport, WriteReportRoundTrip) {
+  const SuiteResult suite = golden_suite();
+  const std::string path = ::testing::TempDir() + "rtnn_bench_report_test.json";
+  write_report(path, suite, capture_environment(), "roundtrip");
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(buffer.str(), report_json(suite, capture_environment(), "roundtrip"));
+  std::remove(path.c_str());
+
+  EXPECT_THROW(write_report("/nonexistent-dir/x/y.json", suite,
+                            capture_environment(), "t"),
+               Error);
+  EXPECT_EQ(default_report_path("abc"), "BENCH_abc.json");
+}
+
+}  // namespace
+}  // namespace rtnn::bench

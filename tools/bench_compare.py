@@ -1,0 +1,161 @@
+#!/usr/bin/env python3
+"""Compare two rtnn_bench JSON reports and fail on median regressions.
+
+CI regression gate: given a checked-in baseline (bench/baseline.json) and a
+fresh report from `rtnn_bench --json`, compare the median of every timing
+present in both, keyed by (case name, timing name). Exit non-zero when any
+timing's median regresses by more than --threshold (default 30%).
+
+Two noise guards for shared CI runners:
+  * only timings above the --min-seconds floor in both reports are gated —
+    sub-millisecond medians are dominated by scheduler jitter, not code;
+  * a median regression only fails when the min regresses past the
+    threshold too. A real slowdown raises every sample including the min;
+    transient contamination (a neighbor stealing the core for one repeat)
+    inflates the median while the min stays put.
+
+New/removed timings are reported but never fail the gate (new cases must
+be able to land, and the baseline is refreshed deliberately).
+
+Stdlib only; schema is documented in src/bench/report.hpp.
+"""
+
+import argparse
+import json
+import sys
+
+SUPPORTED_SCHEMA = 1
+
+
+def load_report(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            report = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"bench_compare: cannot read {path}: {e}")
+    version = report.get("schema_version")
+    if version != SUPPORTED_SCHEMA:
+        sys.exit(
+            f"bench_compare: {path} has schema_version {version!r}, "
+            f"this script understands {SUPPORTED_SCHEMA}"
+        )
+    return report
+
+
+def index_timings(report):
+    """{(case_name, timing_name): (median_seconds, min_seconds)} for ok cases."""
+    timings = {}
+    for case in report.get("cases", []):
+        if case.get("status") != "ok":
+            continue
+        for timing in case.get("timings", []):
+            timings[(case["name"], timing["name"])] = (
+                float(timing["median"]),
+                float(timing["min"]),
+            )
+    return timings
+
+
+def failed_cases(report):
+    return [c["name"] for c in report.get("cases", []) if c.get("status") != "ok"]
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="checked-in baseline report")
+    parser.add_argument("current", help="freshly measured report")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.30,
+        help="max allowed median regression as a fraction (default 0.30 = +30%%)",
+    )
+    parser.add_argument(
+        "--min-seconds",
+        type=float,
+        default=1e-3,
+        help="ignore timings whose medians are below this in both reports "
+        "(noise floor, default 1e-3)",
+    )
+    args = parser.parse_args()
+
+    baseline = load_report(args.baseline)
+    current = load_report(args.current)
+
+    # Absolute-time comparison only means something when the measurement
+    # conditions agree; warn loudly when they don't.
+    for key in ("threads", "build_type", "compiler"):
+        base_v = baseline.get("environment", {}).get(key)
+        cur_v = current.get("environment", {}).get(key)
+        if base_v != cur_v:
+            print(
+                f"WARNING: environment mismatch on {key!r}: "
+                f"baseline={base_v!r} current={cur_v!r} — deltas include a "
+                "machine/configuration component"
+            )
+
+    broken = failed_cases(current)
+    if broken:
+        print(f"FAIL: cases did not complete: {', '.join(broken)}")
+        return 1
+
+    base_timings = index_timings(baseline)
+    cur_timings = index_timings(current)
+    common = sorted(set(base_timings) & set(cur_timings))
+    missing = sorted(set(base_timings) - set(cur_timings))
+    new = sorted(set(cur_timings) - set(base_timings))
+
+    regressions = []
+    improvements = []
+    skipped = 0
+    print(f"{'case':<16} {'timing':<32} {'base[s]':>12} {'cur[s]':>12} {'delta':>8}")
+    for key in common:
+        base, base_min = base_timings[key]
+        cur, cur_min = cur_timings[key]
+        if base < args.min_seconds and cur < args.min_seconds:
+            skipped += 1
+            continue
+        delta = (cur - base) / base if base > 0 else 0.0
+        delta_min = (cur_min - base_min) / base_min if base_min > 0 else 0.0
+        marker = ""
+        if delta > args.threshold and delta_min > args.threshold:
+            regressions.append((key, base, cur, delta))
+            marker = "  << REGRESSION"
+        elif delta > args.threshold:
+            marker = "  (median noise: min held)"
+        elif delta < -args.threshold:
+            improvements.append((key, base, cur, delta))
+            marker = "  (improved)"
+        print(
+            f"{key[0]:<16} {key[1]:<32} {base:>12.4f} {cur:>12.4f} "
+            f"{delta:>+7.1%}{marker}"
+        )
+
+    print()
+    print(
+        f"compared {len(common)} timings "
+        f"({skipped} below the {args.min_seconds}s noise floor skipped)"
+    )
+    for key in missing:
+        print(f"note: timing gone from current report: {key[0]}/{key[1]}")
+    for key in new:
+        print(f"note: new timing not in baseline: {key[0]}/{key[1]}")
+    if improvements:
+        print(f"{len(improvements)} timings improved past the threshold — "
+              "consider refreshing bench/baseline.json")
+
+    if not common:
+        print("FAIL: no comparable timings between the two reports")
+        return 1
+    if regressions:
+        print(f"\nFAIL: {len(regressions)} median regression(s) beyond "
+              f"+{args.threshold:.0%}:")
+        for (case, timing), base, cur, delta in regressions:
+            print(f"  {case}/{timing}: {base:.4f}s -> {cur:.4f}s ({delta:+.1%})")
+        return 1
+    print("OK: no median regressions beyond the threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
