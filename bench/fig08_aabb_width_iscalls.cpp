@@ -45,9 +45,16 @@ RTNN_BENCH_CASE(fig08, "fig08", "Figure 8 — IS calls vs AABB width",
     pipelines::RangePipeline pipeline(ds.points, queries, ids, sweep.width / 2.0f,
                                       0xffffff, false, result);
     ox::LaunchStats stats;
+    // Binary walk: the figure's IS-call and node-visit columns count the
+    // RT-core model's per-node work, which the wide SoA path coarsens.
+    ox::LaunchOptions options;
+    options.use_wide_bvh = false;
     const double seconds = ctx.time(
         std::string("trace.") + sweep.label,
-        [&] { stats = ox::launch(accel, pipeline, static_cast<std::uint32_t>(queries.size())); },
+        [&] {
+          stats = ox::launch(accel, pipeline,
+                             static_cast<std::uint32_t>(queries.size()), options);
+        },
         {.work_items = static_cast<double>(queries.size())});
     const double per_call =
         stats.is_calls ? 1e9 * seconds / static_cast<double>(stats.is_calls) : 0.0;

@@ -24,6 +24,7 @@
 #include "optix/optix.hpp"
 #include "rtcore/bvh.hpp"
 #include "rtcore/traversal.hpp"
+#include "rtcore/wide_bvh.hpp"
 
 using namespace rtnn;
 
@@ -82,27 +83,50 @@ RTNN_BENCH_CASE(micro_core, "micro.core",
     print_row(label.c_str(), n, s);
   }
 
-  // --- Traversal: independent and warp-lockstep ---
+  // --- Traversal: independent (wide + binary) and warp-lockstep ---
+  // `traversal.*` measures the production independent path — the 8-wide
+  // SoA BVH; `traversal_binary.*` keeps the binary walk for reference
+  // (it is also what the warp-lockstep simulation pops node by node).
   for (const double base : {10e3, 100e3}) {
     const std::size_t n = sz(base);
     const auto points = cloud(n, ctx.seed());
     rt::Bvh bvh;
     bvh.build(point_aabbs(points, 0.03f));
+    rt::WideBvh wide;
+    wide.build(bvh);
     std::vector<Ray> rays;
     rays.reserve(points.size());
     for (const Vec3& p : points) rays.push_back(Ray::short_ray(p));
     NullProgram program;
     const std::string suffix = std::to_string(static_cast<int>(base / 1e3)) + "k";
-    const double s_ind = ctx.time("traversal." + suffix,
+    const double s_wide = ctx.time("traversal." + suffix,
+                                   [&] { rt::trace(wide, rays, program); },
+                                   {.work_items = static_cast<double>(n)});
+    print_row(("traversal." + suffix).c_str(), n, s_wide);
+    const double s_bin = ctx.time("traversal_binary." + suffix,
                                   [&] { rt::trace(bvh, rays, program); },
                                   {.work_items = static_cast<double>(n)});
-    print_row(("traversal." + suffix).c_str(), n, s_ind);
+    print_row(("traversal_binary." + suffix).c_str(), n, s_bin);
     rt::TraceConfig config;
     config.model = rt::ExecutionModel::kWarpLockstep;
     const double s_simt = ctx.time("traversal_simt." + suffix,
                                    [&] { rt::trace(bvh, rays, program, config); },
                                    {.work_items = static_cast<double>(n)});
     print_row(("traversal_simt." + suffix).c_str(), n, s_simt);
+  }
+
+  // --- Wide-BVH collapse (amortized into every accel build) ---
+  {
+    const std::size_t n = sz(1000e3);
+    rt::Bvh bvh;
+    bvh.build(point_aabbs(cloud(n, ctx.seed()), 0.02f));
+    const double s = ctx.time("wide_collapse.1000k",
+                              [&] {
+                                rt::WideBvh wide;
+                                wide.build(bvh);
+                              },
+                              {.work_items = static_cast<double>(n)});
+    print_row("wide_collapse.1000k", n, s);
   }
 
   // --- Uniform grid ---

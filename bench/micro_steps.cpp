@@ -51,10 +51,18 @@ RTNN_BENCH_CASE(micro_steps, "micro.steps",
       }
     };
     TraversalOnly trav{points};
+    // Binary walk, not the wide SoA path: the derived ns-per-node-visit /
+    // ns-per-IS-call constants model the RT core popping the binary tree
+    // (what the warp-lockstep simulation counts), so the counters must
+    // keep that meaning.
+    ox::LaunchOptions model_opts;
+    model_opts.use_wide_bvh = false;
     ox::LaunchStats stats;
     const double t_step1 = ctx.time(
         "step1_traversal",
-        [&] { stats = ox::launch(accel, trav, static_cast<std::uint32_t>(nq)); },
+        [&] {
+          stats = ox::launch(accel, trav, static_cast<std::uint32_t>(nq), model_opts);
+        },
         {.work_items = static_cast<double>(nq)});
 
     FlatKnnHeaps heaps(nq, 16);
@@ -73,7 +81,7 @@ RTNN_BENCH_CASE(micro_steps, "micro.steps",
     KnnIs knn{points, points, radius * radius, &heaps};
     const double t_step2 = ctx.time(
         "step2_knn_is",
-        [&] { ox::launch(accel, knn, static_cast<std::uint32_t>(nq)); },
+        [&] { ox::launch(accel, knn, static_cast<std::uint32_t>(nq), model_opts); },
         {.work_items = static_cast<double>(nq)});
 
     const double step1_per_event =

@@ -126,19 +126,27 @@ struct Ray {
   }
 };
 
+/// The reciprocal direction (±inf for zero components) used by the slab
+/// test; traversal loops compute it once per ray instead of per node.
+inline Vec3 reciprocal_dir(const Ray& ray) {
+  return {1.0f / ray.dir.x, 1.0f / ray.dir.y, 1.0f / ray.dir.z};
+}
+
 /// Ray-AABB intersection implementing *both* conditions of paper Figure 2:
 ///   1. the slab test hits a face with t inside [tmin, tmax], or
 ///   2. the ray origin lies inside the AABB (required so a ray starting
 ///      inside a node is still allowed to descend into children).
-/// Branchless slab test except for the early containment check.
-inline bool ray_intersects_aabb(const Ray& ray, const Aabb& box) {
+/// Branchless slab test except for the early containment check. The 8-wide
+/// SoA node test (rt::detail::wide_node_hits) must stay decision-identical
+/// to this scalar form, including its NaN behavior (no swap, keep t0/t1).
+inline bool ray_intersects_aabb(const Ray& ray, const Aabb& box, const Vec3& inv_dir) {
   // Condition 2: origin inside the box.
   if (box.contains(ray.origin)) return true;
   // Condition 1: standard slab test against the six faces.
   float t0 = ray.tmin;
   float t1 = ray.tmax;
   for (int axis = 0; axis < 3; ++axis) {
-    const float inv = 1.0f / ray.dir[axis];  // +-inf when dir[axis] == 0
+    const float inv = inv_dir[axis];
     float tnear = (box.lo[axis] - ray.origin[axis]) * inv;
     float tfar = (box.hi[axis] - ray.origin[axis]) * inv;
     if (tnear > tfar) std::swap(tnear, tfar);
@@ -147,6 +155,10 @@ inline bool ray_intersects_aabb(const Ray& ray, const Aabb& box) {
     if (t0 > t1) return false;
   }
   return true;
+}
+
+inline bool ray_intersects_aabb(const Ray& ray, const Aabb& box) {
+  return ray_intersects_aabb(ray, box, reciprocal_dir(ray));
 }
 
 }  // namespace rtnn

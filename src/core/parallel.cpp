@@ -39,6 +39,14 @@ void set_num_threads(int n) {
   g_thread_override.store(n > 0 ? n : 0, std::memory_order_relaxed);
 }
 
+int worker_index() {
+#ifdef RTNN_HAVE_OPENMP
+  return omp_get_thread_num();
+#else
+  return 0;
+#endif
+}
+
 namespace detail {
 
 void parallel_for_impl(std::int64_t begin, std::int64_t end, std::int64_t grain,

@@ -24,6 +24,31 @@ int num_threads();
 /// both an RTX 2080 and an RTX 2080Ti).
 void set_num_threads(int n);
 
+/// Index of the calling worker within the active parallel region, in
+/// [0, num_threads()); 0 outside any region. The anchor for lock-free
+/// per-thread accumulation (see rt::StatsAccumulator).
+int worker_index();
+
+/// Per-call-site grain constants for parallel_for: the minimum number of
+/// items one task must amortize before forking is worth it. Launches issue
+/// many tiny loops (one per partition chunk), so call sites pick the named
+/// constant matching their per-item cost instead of guessing; tune here,
+/// not at the call site.
+namespace grain {
+/// Catch-all for unannotated loops (the old hardcoded 1024).
+inline constexpr std::int64_t kDefault = 1024;
+/// Trivial bodies, a few flops per item: AABB generation, Morton encoding,
+/// ray generation, SoA bounds fills.
+inline constexpr std::int64_t kElementwise = 4096;
+/// One full tree walk per item: independent-path per-ray traversal.
+inline constexpr std::int64_t kTrace = 512;
+/// One 32-lane lockstep warp per item (heavy, few items).
+inline constexpr std::int64_t kWarp = 8;
+/// Pre-chunked task lists where each item is already a large block of work
+/// (subtree builds, radix buckets, per-chunk scatters).
+inline constexpr std::int64_t kTask = 1;
+}  // namespace grain
+
 namespace detail {
 
 /// Non-owning reference to a `void(int64_t lo, int64_t hi)` callable. The
@@ -55,7 +80,7 @@ void parallel_for_impl(std::int64_t begin, std::int64_t end, std::int64_t grain,
 /// run serially (important: many per-partition launches are tiny).
 template <typename Body>
 void parallel_for(std::int64_t begin, std::int64_t end, Body&& body,
-                  std::int64_t grain = 1024) {
+                  std::int64_t grain = grain::kDefault) {
   detail::parallel_for_impl(begin, end, grain,
                             [&body](std::int64_t lo, std::int64_t hi) {
                               for (std::int64_t i = lo; i < hi; ++i) body(i);
@@ -66,18 +91,16 @@ void parallel_for(std::int64_t begin, std::int64_t end, Body&& body,
 /// want per-chunk state, e.g. per-thread histograms).
 template <typename Body>
 void parallel_for_chunks(std::int64_t begin, std::int64_t end, Body&& body,
-                         std::int64_t grain = 1024) {
+                         std::int64_t grain = grain::kDefault) {
   detail::parallel_for_impl(begin, end, grain, body);
 }
 
 /// Parallel reduction: result = reduce over i of map(i), combined with `op`.
 template <typename T, typename Map, typename Op>
 T parallel_reduce(std::int64_t begin, std::int64_t end, T init, Map&& map, Op&& op,
-                  std::int64_t grain = 1024) {
+                  std::int64_t grain = grain::kDefault) {
   if (end <= begin) return init;
   const int workers = num_threads();
-  std::vector<T> partial(static_cast<std::size_t>(workers), init);
-  std::vector<bool> used(static_cast<std::size_t>(workers), false);
   // Chunked so each worker folds locally, then a serial combine.
   struct Slot { T value; bool used; };
   const std::int64_t n = end - begin;

@@ -84,12 +84,23 @@ void radix_sort_impl(std::vector<Key>& keys, std::vector<std::uint32_t>* values)
   // Parallel MSD+LSD hybrid: find the highest byte in which keys differ,
   // scatter into 256 buckets by that byte (stable, parallel histogram +
   // parallel scatter), then LSD-sort each bucket's lower bytes in parallel.
-  Key key_min = keys[0];
-  Key key_max = keys[0];
-  for (const Key k : keys) {
-    key_min = std::min(key_min, k);
-    key_max = std::max(key_max, k);
-  }
+  struct KeyRange {
+    Key min, max;
+  };
+  const KeyRange range = parallel_reduce<KeyRange>(
+      0, static_cast<std::int64_t>(n), KeyRange{keys[0], keys[0]},
+      [&](std::int64_t i) {
+        const Key k = keys[static_cast<std::size_t>(i)];
+        return KeyRange{k, k};
+      },
+      [](KeyRange a, const KeyRange& b) {
+        a.min = std::min(a.min, b.min);
+        a.max = std::max(a.max, b.max);
+        return a;
+      },
+      grain::kElementwise);
+  const Key key_min = range.min;
+  const Key key_max = range.max;
   if (key_min == key_max) return;
   unsigned split_byte = kBytes - 1;
   while (((key_min >> (split_byte * 8)) & 0xffu) == ((key_max >> (split_byte * 8)) & 0xffu)) {
@@ -111,7 +122,7 @@ void radix_sort_impl(std::vector<Key>& keys, std::vector<std::uint32_t>* values)
     for (std::size_t i = lo; i < hi; ++i) {
       ++hist[static_cast<std::size_t>((keys[i] >> shift) & 0xffu)];
     }
-  }, 1);
+  }, grain::kTask);
 
   // Exclusive offsets: bucket-major, then chunk within bucket (stability).
   std::array<std::uint32_t, 256> bucket_start{};
@@ -142,7 +153,7 @@ void radix_sort_impl(std::vector<Key>& keys, std::vector<std::uint32_t>* values)
       key_buf[dst] = k;
       if (vals) val_buf[dst] = vals[i];
     }
-  }, 1);
+  }, grain::kTask);
   keys.swap(key_buf);
   if (values) values->swap(val_buf);
   vals = values ? values->data() : nullptr;
@@ -157,7 +168,7 @@ void radix_sort_impl(std::vector<Key>& keys, std::vector<std::uint32_t>* values)
     if (hi - lo < 2) return;
     lsd_sort(keys.data() + lo, vals ? vals + lo : nullptr, hi - lo, split_byte,
              key_buf.data() + lo, vals_scratch ? vals_scratch + lo : nullptr);
-  }, 1);
+  }, grain::kTask);
 }
 
 }  // namespace

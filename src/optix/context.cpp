@@ -7,12 +7,13 @@ namespace rtnn::ox {
 Accel Context::build_accel(std::span<const Aabb> prim_aabbs,
                            const AccelBuildOptions& options) const {
   Timer timer;
-  auto bvh = std::make_shared<rt::Bvh>();
+  auto data = std::make_shared<detail::AccelData>();
   rt::BvhBuildOptions build_options;
   build_options.leaf_size = options.leaf_size;
-  bvh->build(prim_aabbs, build_options);
+  data->bvh.build(prim_aabbs, build_options);
+  data->wide.build(data->bvh);
   Accel accel;
-  accel.bvh_ = std::move(bvh);
+  accel.data_ = std::move(data);
   accel.build_seconds_ = timer.elapsed();
   return accel;
 }

@@ -33,6 +33,7 @@
 #include "core/error.hpp"
 #include "rtcore/bvh.hpp"
 #include "rtcore/traversal.hpp"
+#include "rtcore/wide_bvh.hpp"
 
 namespace rtnn::ox {
 
@@ -45,25 +46,46 @@ struct AccelBuildOptions {
   std::uint32_t leaf_size = 1;
 };
 
+namespace detail {
+
+/// The shared immutable build product behind an Accel handle. The wide
+/// mirror is collapsed during build_accel — eagerly, so the cost lands in
+/// build_seconds()/time.bvh like the rest of the acceleration-structure
+/// work (the cost model's T_build = k1·M stays linear; a lazy collapse
+/// would leak into the first launch's timing and bias the k2 estimate).
+struct AccelData {
+  rt::Bvh bvh;
+  rt::WideBvh wide;
+};
+
+}  // namespace detail
+
 /// Geometry acceleration structure (GAS) over custom AABB primitives.
 class Accel {
  public:
   Accel() = default;
 
   const rt::Bvh& bvh() const {
-    RTNN_CHECK(bvh_ != nullptr, "accel not built");
-    return *bvh_;
+    RTNN_CHECK(data_ != nullptr, "accel not built");
+    return data_->bvh;
   }
 
-  std::uint32_t prim_count() const { return bvh_ ? bvh_->prim_count() : 0; }
-  bool built() const { return bvh_ != nullptr; }
+  /// The flattened 8-wide SoA mirror the independent (wall-clock) path
+  /// traverses.
+  const rt::WideBvh& wide_bvh() const {
+    RTNN_CHECK(data_ != nullptr, "accel not built");
+    return data_->wide;
+  }
+
+  std::uint32_t prim_count() const { return data_ ? data_->bvh.prim_count() : 0; }
+  bool built() const { return data_ != nullptr; }
 
   /// Build-time of the last build, seconds (the BVH phase of Figure 12).
   double build_seconds() const { return build_seconds_; }
 
  private:
   friend class Context;
-  std::shared_ptr<const rt::Bvh> bvh_;
+  std::shared_ptr<const detail::AccelData> data_;
   double build_seconds_ = 0.0;
 };
 
@@ -72,6 +94,11 @@ struct LaunchOptions {
   bool parallel = true;
   bool simulate_caches = false;
   bool collect_stats = true;
+  /// kIndependent launches traverse the accel's 8-wide SoA mirror (the
+  /// wall-clock configuration). Clear to force the binary BVH — parity and
+  /// characterization runs. Ignored by kWarpLockstep, which always walks
+  /// the binary tree for simulation fidelity.
+  bool use_wide_bvh = true;
 };
 
 /// Shader-pipeline concepts. A pipeline must at least provide the RG and
@@ -139,7 +166,7 @@ LaunchStats launch(const Accel& accel, P& pipeline, std::uint32_t width,
   std::vector<Ray> rays(width);
   parallel_for(0, width, [&](std::int64_t i) {
     rays[static_cast<std::size_t>(i)] = pipeline.raygen(static_cast<std::uint32_t>(i));
-  });
+  }, grain::kElementwise);
 
   constexpr bool kNeedsHitInfo = HasClosestHit<P> || HasMiss<P>;
   std::vector<std::uint8_t> is_invoked;
@@ -152,7 +179,11 @@ LaunchStats launch(const Accel& accel, P& pipeline, std::uint32_t width,
   config.parallel = options.parallel;
   config.simulate_caches = options.simulate_caches;
   config.collect_stats = options.collect_stats || options.simulate_caches;
-  const LaunchStats stats = rt::trace(accel.bvh(), std::span<const Ray>(rays), adapter, config);
+  const bool wide =
+      options.model == ExecutionModel::kIndependent && options.use_wide_bvh;
+  const LaunchStats stats =
+      wide ? rt::trace(accel.wide_bvh(), std::span<const Ray>(rays), adapter, config)
+           : rt::trace(accel.bvh(), std::span<const Ray>(rays), adapter, config);
 
   if constexpr (kNeedsHitInfo) {
     parallel_for(0, width, [&](std::int64_t i) {

@@ -148,7 +148,7 @@ void Bvh::build(std::span<const Aabb> prims, const BvhBuildOptions& options) {
         a.empties += b.empties;
         return a;
       },
-      4096);
+      grain::kElementwise);
   RTNN_CHECK(totals.empties == 0, "cannot build BVH over an empty AABB");
   scene_bounds_ = totals.scene;
 
@@ -157,7 +157,7 @@ void Bvh::build(std::span<const Aabb> prims, const BvhBuildOptions& options) {
   parallel_for(0, n, [&](std::int64_t i) {
     codes[static_cast<std::size_t>(i)] =
         morton3d_63(prims[static_cast<std::size_t>(i)].center(), totals.centroid);
-  });
+  }, grain::kElementwise);
   prim_order_.resize(n);
   std::iota(prim_order_.begin(), prim_order_.end(), 0u);
   radix_sort_pairs(codes, prim_order_);
@@ -234,7 +234,7 @@ void Bvh::build(std::span<const Aabb> prims, const BvhBuildOptions& options) {
       builder.build(static_cast<std::uint32_t>(offsets[static_cast<std::size_t>(t)]),
                     task.lo, task.hi, 0);
       local_depth[static_cast<std::size_t>(t)] = builder.max_depth;
-    }, 1);
+    }, grain::kTask);
   } else {
     // General leaf sizes: build locally and stitch with index fix-up.
     std::vector<std::vector<BvhNode>> local(tasks.size());
@@ -245,7 +245,7 @@ void Bvh::build(std::span<const Aabb> prims, const BvhBuildOptions& options) {
       SubtreeBuilder builder{codes, prim_order_, prim_aabbs_, leaf_size_, nodes};
       builder.build(task.lo, task.hi, 0);
       local_depth[static_cast<std::size_t>(t)] = builder.max_depth;
-    }, 1);
+    }, grain::kTask);
     std::vector<std::size_t> offsets(tasks.size());
     std::size_t total = nodes_.size();
     for (std::size_t t = 0; t < tasks.size(); ++t) {
@@ -265,7 +265,7 @@ void Bvh::build(std::span<const Aabb> prims, const BvhBuildOptions& options) {
         }
         dst[i] = node;
       }
-    }, 1);
+    }, grain::kTask);
     for (std::size_t t = 0; t < tasks.size(); ++t) {
       const Task& task = tasks[t];
       const auto root = static_cast<std::uint32_t>(offsets[t]);

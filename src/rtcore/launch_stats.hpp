@@ -7,9 +7,13 @@
 // regenerated from this struct.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <iosfwd>
+#include <vector>
 
+#include "core/error.hpp"
+#include "core/parallel.hpp"
 #include "rtcore/cache_sim.hpp"
 
 namespace rtnn::rt {
@@ -51,5 +55,39 @@ struct LaunchStats {
 };
 
 std::ostream& operator<<(std::ostream& os, const LaunchStats& s);
+
+/// Lock-free per-worker LaunchStats accumulation for parallel launches.
+/// Each worker bumps counters in its own cache-line-aligned slot (indexed
+/// by worker_index()); the launch sums the slots once at the end. This
+/// replaced the mutex-guarded merge that used to sit on the trace hot
+/// path — per-thread counters cost nothing while rays are in flight.
+class StatsAccumulator {
+ public:
+  StatsAccumulator() : slots_(static_cast<std::size_t>(std::max(num_threads(), 1))) {}
+
+  /// The calling worker's slot. Valid inside a parallel region sized by
+  /// num_threads() (the only configuration parallel_for creates) and on
+  /// the serial path. A concurrent set_num_threads() could hand a worker
+  /// an index past the slot count — asserted in debug; the release clamp
+  /// only bounds the access (writes may then contend on the last slot).
+  LaunchStats& local() {
+    const auto w = static_cast<std::size_t>(worker_index());
+    RTNN_DCHECK(w < slots_.size(), "worker index exceeds stats slots");
+    return slots_[w < slots_.size() ? w : slots_.size() - 1].stats;
+  }
+
+  /// Sum of every worker's counters; call after the parallel region ends.
+  LaunchStats reduce() const {
+    LaunchStats total;
+    for (const Slot& slot : slots_) total += slot.stats;
+    return total;
+  }
+
+ private:
+  struct alignas(64) Slot {
+    LaunchStats stats;
+  };
+  std::vector<Slot> slots_;
+};
 
 }  // namespace rtnn::rt

@@ -4,7 +4,13 @@
 //
 //  * kIndependent — every ray traverses on its own stack; rays are spread
 //    across OpenMP threads. This is the fast path used for wall-clock
-//    performance measurements.
+//    performance measurements. It traverses either the binary LBVH or —
+//    the production configuration — the flattened 8-wide SoA WideBvh,
+//    where one ray-vs-node step tests all eight child AABBs with AVX2
+//    (scalar fallback when built with RTNN_ENABLE_AVX2=OFF). Rays are
+//    batched into chunks that reuse one per-thread traversal stack, and
+//    chunks inherit the caller's Morton ordering so consecutive rays walk
+//    overlapping subtrees.
 //
 //  * kWarpLockstep — rays are grouped into 32-lane warps that advance in
 //    lockstep, the way the SIMT hardware schedules them (paper section
@@ -14,7 +20,12 @@
 //    sub-steps (control-flow divergence), and each unique node fetch is
 //    replayed through the cache simulator. Incoherent rays therefore cost
 //    more sub-steps, idle more lane slots (lower occupancy) and miss the
-//    caches more — exactly the effects of paper Figures 5 and 6.
+//    caches more — exactly the effects of paper Figures 5 and 6. This
+//    model always walks the binary BVH so its step/cache/occupancy
+//    figures stay bit-identical to the hardware characterization.
+//
+// Stats are accumulated in per-worker slots (StatsAccumulator) and summed
+// once per launch — no locks on the hot path.
 //
 // The `Program` template parameter plays the role of the compiled shader
 // kernel: `program.intersect(ray_id, prim_id)` is the IS shader, invoked
@@ -24,10 +35,14 @@
 // stop at the first hit).
 #pragma once
 
+#include <bit>
 #include <cstdint>
-#include <mutex>
 #include <optional>
 #include <span>
+
+#ifdef RTNN_HAVE_AVX2
+#include <immintrin.h>
+#endif
 
 #include "core/aabb.hpp"
 #include "core/error.hpp"
@@ -35,6 +50,7 @@
 #include "rtcore/bvh.hpp"
 #include "rtcore/cache_sim.hpp"
 #include "rtcore/launch_stats.hpp"
+#include "rtcore/wide_bvh.hpp"
 
 namespace rtnn::rt {
 
@@ -60,6 +76,8 @@ struct TraceConfig {
 namespace detail {
 
 constexpr std::uint32_t kMaxStackDepth = 128;
+/// The wide stack holds up to (width-1) net pushes per level.
+constexpr std::uint32_t kWideStackDepth = (kWideBvhWidth - 1) * kMaxStackDepth + 1;
 constexpr std::uint32_t kWarpSize = 32;
 // Pretend-device addresses for the cache simulator: BVH nodes and
 // primitive AABBs live in distinct regions with GPU-like strides.
@@ -122,6 +140,117 @@ void trace_one(const Bvh& bvh, const Ray& ray, std::uint32_t ray_id, Program& pr
       RTNN_DCHECK(sp + 2 <= kMaxStackDepth, "traversal stack overflow");
       stack[sp++] = node.left;
       stack[sp++] = node.right;
+    }
+  }
+}
+
+/// Tests `ray` against all eight child slots of `node` in one step and
+/// returns the bitmask of intersected slots (bit i = slot i). Must agree
+/// bit-for-bit with ray_intersects_aabb on every slot box; empty slots may
+/// report spurious hits and are masked off by the caller via valid_mask().
+/// `inv_dir` is the precomputed 1/dir (±inf for zero components), hoisted
+/// out of the per-node loop.
+#ifdef RTNN_HAVE_AVX2
+inline std::uint32_t wide_node_hits(const WideBvhNode& node, const Ray& ray,
+                                    const Vec3& inv_dir) {
+  const __m256 ox = _mm256_set1_ps(ray.origin.x);
+  const __m256 oy = _mm256_set1_ps(ray.origin.y);
+  const __m256 oz = _mm256_set1_ps(ray.origin.z);
+  const __m256 minx = _mm256_load_ps(node.minx);
+  const __m256 miny = _mm256_load_ps(node.miny);
+  const __m256 minz = _mm256_load_ps(node.minz);
+  const __m256 maxx = _mm256_load_ps(node.maxx);
+  const __m256 maxy = _mm256_load_ps(node.maxy);
+  const __m256 maxz = _mm256_load_ps(node.maxz);
+
+  // Condition 2 of paper Figure 2: the origin lies inside the box.
+  __m256 inside = _mm256_and_ps(_mm256_cmp_ps(ox, minx, _CMP_GE_OQ),
+                                _mm256_cmp_ps(ox, maxx, _CMP_LE_OQ));
+  inside = _mm256_and_ps(inside, _mm256_and_ps(_mm256_cmp_ps(oy, miny, _CMP_GE_OQ),
+                                               _mm256_cmp_ps(oy, maxy, _CMP_LE_OQ)));
+  inside = _mm256_and_ps(inside, _mm256_and_ps(_mm256_cmp_ps(oz, minz, _CMP_GE_OQ),
+                                               _mm256_cmp_ps(oz, maxz, _CMP_LE_OQ)));
+
+  // Condition 1: the slab test, with the scalar path's exact NaN
+  // semantics. `tnear > tfar` with a NaN is false (no swap), and
+  // vmaxps/vminps return their *second* operand when the first is NaN —
+  // matching the scalar `t > t0 ? t : t0` that keeps t0.
+  __m256 t0 = _mm256_set1_ps(ray.tmin);
+  __m256 t1 = _mm256_set1_ps(ray.tmax);
+  const auto slab_axis = [&](__m256 lo, __m256 hi, __m256 o, float inv) {
+    const __m256 invv = _mm256_set1_ps(inv);
+    const __m256 tn = _mm256_mul_ps(_mm256_sub_ps(lo, o), invv);
+    const __m256 tf = _mm256_mul_ps(_mm256_sub_ps(hi, o), invv);
+    const __m256 swap = _mm256_cmp_ps(tn, tf, _CMP_GT_OQ);
+    const __m256 tnear = _mm256_blendv_ps(tn, tf, swap);
+    const __m256 tfar = _mm256_blendv_ps(tf, tn, swap);
+    t0 = _mm256_max_ps(tnear, t0);
+    t1 = _mm256_min_ps(tfar, t1);
+  };
+  slab_axis(minx, maxx, ox, inv_dir.x);
+  slab_axis(miny, maxy, oy, inv_dir.y);
+  slab_axis(minz, maxz, oz, inv_dir.z);
+  const __m256 slab = _mm256_cmp_ps(t0, t1, _CMP_LE_OQ);
+
+  return static_cast<std::uint32_t>(_mm256_movemask_ps(_mm256_or_ps(inside, slab)));
+}
+#else
+inline std::uint32_t wide_node_hits(const WideBvhNode& node, const Ray& ray,
+                                    const Vec3& inv_dir) {
+  std::uint32_t mask = 0;
+  for (std::uint32_t i = 0; i < kWideBvhWidth; ++i) {
+    const Aabb box{{node.minx[i], node.miny[i], node.minz[i]},
+                   {node.maxx[i], node.maxy[i], node.maxz[i]}};
+    if (ray_intersects_aabb(ray, box, inv_dir)) mask |= 1u << i;
+  }
+  return mask;
+}
+#endif
+
+/// Single-ray traversal of the 8-wide SoA BVH. `stack` is the caller's
+/// reusable per-thread buffer (kWideStackDepth entries).
+template <typename Program>
+void trace_one_wide(const WideBvh& bvh, const Ray& ray, std::uint32_t ray_id,
+                    Program& program, LaunchStats* stats, std::uint32_t* stack) {
+  const auto nodes = bvh.nodes();
+  const auto leaves = bvh.leaves();
+  const auto prim_order = bvh.prim_order();
+  const auto prim_aabbs = bvh.prim_aabbs();
+  const Vec3 inv_dir = reciprocal_dir(ray);
+  std::uint32_t sp = 0;
+  stack[sp++] = bvh.root();
+  while (sp > 0) {
+    const WideBvhNode& node = nodes[stack[--sp]];
+    if (stats) {
+      ++stats->node_visits;
+      stats->aabb_tests += node.count;
+    }
+    std::uint32_t mask = wide_node_hits(node, ray, inv_dir) & node.valid_mask();
+    while (mask != 0) {
+      const auto slot = static_cast<std::uint32_t>(std::countr_zero(mask));
+      mask &= mask - 1;
+      const std::uint32_t child = node.child[slot];
+      if (child & WideBvhNode::kLeafBit) {
+        const WideLeaf leaf = leaves[child & ~WideBvhNode::kLeafBit];
+        // Single-primitive leaves (the RTNN configuration) were already
+        // tested: the slot box *is* the primitive's AABB. Wider leaves
+        // re-test each primitive against the ray like the binary path.
+        for (std::uint32_t s = leaf.first; s < leaf.first + leaf.count; ++s) {
+          const std::uint32_t prim = prim_order[s];
+          if (leaf.count > 1) {
+            if (stats) ++stats->aabb_tests;
+            if (!ray_intersects_aabb(ray, prim_aabbs[prim], inv_dir)) continue;
+          }
+          if (stats) ++stats->is_calls;
+          if (program.intersect(ray_id, prim) == TraceAction::kTerminate) {
+            if (stats) ++stats->terminated_rays;
+            return;
+          }
+        }
+      } else {
+        RTNN_DCHECK(sp < kWideStackDepth, "wide traversal stack overflow");
+        stack[sp++] = child;
+      }
     }
   }
 }
@@ -203,34 +332,37 @@ LaunchStats trace(const Bvh& bvh, std::span<const Ray> rays, Program& program,
   total.rays = rays.size();
   if (rays.empty() || bvh.empty()) return total;
 
-  std::mutex merge_mutex;
   const auto n = static_cast<std::int64_t>(rays.size());
+  // Lazily sized so stats-off launches (pure wall-clock runs, often many
+  // tiny per-partition launches) skip the slot allocation entirely.
+  std::optional<StatsAccumulator> accumulator;
 
   if (config.model == ExecutionModel::kIndependent) {
     RTNN_CHECK(!config.simulate_caches,
                "cache simulation requires the warp-lockstep execution model");
-    const std::int64_t grain = 512;
+    if (config.collect_stats) accumulator.emplace();
     auto run_chunk = [&](std::int64_t lo, std::int64_t hi) {
+      // Counters bump a stack-local struct through the chunk and fold into
+      // the worker's slot once — no heap writes on the per-node path.
       LaunchStats local;
-      LaunchStats* stats = config.collect_stats ? &local : nullptr;
+      LaunchStats* stats = accumulator ? &local : nullptr;
       for (std::int64_t i = lo; i < hi; ++i) {
         detail::trace_one(bvh, rays[static_cast<std::size_t>(i)],
                           static_cast<std::uint32_t>(i), program, stats);
       }
-      if (config.collect_stats) {
-        const std::lock_guard<std::mutex> lock(merge_mutex);
-        total += local;
-      }
+      if (accumulator) accumulator->local() += local;
     };
     if (config.parallel) {
-      parallel_for_chunks(0, n, run_chunk, grain);
+      parallel_for_chunks(0, n, run_chunk, grain::kTrace);
     } else {
       run_chunk(0, n);
     }
+    if (accumulator) total += accumulator->reduce();
     return total;
   }
 
-  // Warp-lockstep model.
+  // Warp-lockstep model (always collects: its counters are the figures).
+  accumulator.emplace();
   const std::int64_t n_warps =
       (n + detail::kWarpSize - 1) / static_cast<std::int64_t>(detail::kWarpSize);
   auto run_warps = [&](std::int64_t lo, std::int64_t hi) {
@@ -248,14 +380,52 @@ LaunchStats trace(const Bvh& bvh, std::span<const Ray> rays, Program& program,
       local.l1 = mem->l1_stats();
       local.l2 = mem->l2_stats();
     }
-    const std::lock_guard<std::mutex> lock(merge_mutex);
-    total += local;
+    accumulator->local() += local;
   };
   if (config.parallel) {
-    parallel_for_chunks(0, n_warps, run_warps, 8);
+    parallel_for_chunks(0, n_warps, run_warps, grain::kWarp);
   } else {
     run_warps(0, n_warps);
   }
+  total += accumulator->reduce();
+  return total;
+}
+
+/// Wide-BVH overload: the wall-clock independent path. Rays are batched
+/// into Morton-coherent chunks (the caller's ordering is preserved), each
+/// chunk reusing one per-thread traversal stack across all of its rays.
+template <typename Program>
+LaunchStats trace(const WideBvh& bvh, std::span<const Ray> rays, Program& program,
+                  const TraceConfig& config = {}) {
+  RTNN_CHECK(config.model == ExecutionModel::kIndependent,
+             "the wide BVH serves only the independent execution model; "
+             "warp-lockstep simulation walks the binary BVH");
+  RTNN_CHECK(!config.simulate_caches,
+             "cache simulation requires the warp-lockstep execution model");
+  LaunchStats total;
+  total.rays = rays.size();
+  if (rays.empty() || bvh.empty()) return total;
+
+  const auto n = static_cast<std::int64_t>(rays.size());
+  std::optional<StatsAccumulator> accumulator;
+  if (config.collect_stats) accumulator.emplace();
+  auto run_chunk = [&](std::int64_t lo, std::int64_t hi) {
+    LaunchStats local;
+    LaunchStats* stats = accumulator ? &local : nullptr;
+    // One stack allocation per chunk, reused by every ray in it.
+    std::uint32_t stack[detail::kWideStackDepth];
+    for (std::int64_t i = lo; i < hi; ++i) {
+      detail::trace_one_wide(bvh, rays[static_cast<std::size_t>(i)],
+                             static_cast<std::uint32_t>(i), program, stats, stack);
+    }
+    if (accumulator) accumulator->local() += local;
+  };
+  if (config.parallel) {
+    parallel_for_chunks(0, n, run_chunk, grain::kTrace);
+  } else {
+    run_chunk(0, n);
+  }
+  if (accumulator) total += accumulator->reduce();
   return total;
 }
 

@@ -29,7 +29,7 @@ ox::Accel SearchContext::build_accel_width(float aabb_width) {
   parallel_for(0, static_cast<std::int64_t>(points.size()), [&](std::int64_t i) {
     aabbs[static_cast<std::size_t>(i)] =
         Aabb::cube(points[static_cast<std::size_t>(i)], aabb_width);
-  });
+  }, grain::kElementwise);
   const ox::Context ctx;
   ox::Accel accel = ctx.build_accel(aabbs);
   report.time.bvh += timer.elapsed();

@@ -77,6 +77,13 @@ def main():
         help="ignore timings whose medians are below this in both reports "
         "(noise floor, default 1e-3)",
     )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="after printing the comparison, rewrite BASELINE from CURRENT "
+        "and exit 0 — re-anchors the gate after a deliberate perf change "
+        "instead of hand-editing the checked-in report",
+    )
     args = parser.parse_args()
 
     baseline = load_report(args.baseline)
@@ -143,6 +150,16 @@ def main():
     if improvements:
         print(f"{len(improvements)} timings improved past the threshold — "
               "consider refreshing bench/baseline.json")
+
+    if args.update_baseline:
+        rewritten = dict(current)
+        rewritten["tag"] = "baseline"
+        with open(args.baseline, "w", encoding="utf-8") as f:
+            json.dump(rewritten, f, indent=2)
+            f.write("\n")
+        print(f"updated {args.baseline} from {args.current} "
+              f"({len(cur_timings)} timings)")
+        return 0
 
     if not common:
         print("FAIL: no comparable timings between the two reports")
