@@ -1,0 +1,210 @@
+// Dynamic point-cloud benches: the per-frame index lifecycle.
+//
+// Not a paper figure. The paper's headline workloads (lidar frames, SPH
+// fluids, N-body steps) are frame *sequences*, but its evaluation is
+// single-frame — every timestep pays a from-scratch build. These cases
+// measure what the lifecycle adds on a small-motion drift sequence (the
+// SPH/N-body regime), at three absolute sizes (not paper-scaled: the
+// object is the refit-vs-rebuild ratio at named sizes, comparable across
+// runs regardless of --scale):
+//
+//   frame_step.*  end-to-end frame latency for a tracking-shaped load
+//                 (Q = N/10 queries against the persistent cloud). Index
+//                 maintenance dominates here, so the lifecycle's speedup
+//                 shows up end to end.
+//   selfknn.*     end-to-end frame latency for the SPH shape (Q = N
+//                 self-neighborhoods). Search dominates; the lifecycle
+//                 still removes the whole build from the critical path,
+//                 but the end-to-end ratio is bounded by search cost.
+//   index.*       the index-maintenance component alone (time.bvh +
+//                 time.refit + upload of the per-frame Report) — the
+//                 pure refit-vs-rebuild ratio.
+//
+// dynamic.policy exercises the cost model's refit-vs-rebuild decision on
+// correspondence-free lidar sweeps, where refit quality collapses and
+// rebuilds must kick in.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench.hpp"
+#include "bench_util.hpp"
+#include "core/morton.hpp"
+#include "datasets/motion.hpp"
+#include "datasets/uniform.hpp"
+#include "rtnn/rtnn.hpp"
+
+using namespace rtnn;
+
+namespace {
+
+constexpr std::uint32_t kFrameK = 8;
+
+/// KNN frame search over one persistent monolithic index (the
+/// dynamic-session configuration): radius sized for ~2K expected
+/// neighbors in the unit cube at population n.
+SearchParams frame_params(std::size_t n) {
+  SearchParams params;
+  params.mode = SearchMode::kKnn;
+  params.k = kFrameK;
+  params.radius = static_cast<float>(
+      std::cbrt(2.0 * kFrameK * 3.0 / (4.0 * 3.14159265 * static_cast<double>(n))));
+  params.opts = OptimizationFlags::none();
+  return params;
+}
+
+/// Initial cloud in Morton order, the way frame workloads keep their
+/// points (SPH codes re-sort periodically; lidar arrives scan-ordered).
+/// Small-motion frames then stay coherent without per-frame scheduling.
+data::PointCloud morton_ordered_cloud(std::size_t n, std::uint64_t seed) {
+  data::PointCloud points = data::uniform_box(n, {{0, 0, 0}, {1, 1, 1}}, seed);
+  const Aabb box = data::bounds(points);
+  std::sort(points.begin(), points.end(), [&](const Vec3& a, const Vec3& b) {
+    return morton3d_63(a, box) < morton3d_63(b, box);
+  });
+  return points;
+}
+
+/// A contiguous Morton window of N/10 points: the tracking-shaped query
+/// load (a sensor or solver working one spatial region of the persistent
+/// cloud per frame). Contiguous in Morton order = spatially compact =
+/// coherent rays.
+std::span<const Vec3> tracked_queries(const data::PointCloud& frame) {
+  return std::span<const Vec3>(frame.data(), frame.size() / 10);
+}
+
+}  // namespace
+
+RTNN_BENCH_CASE(dynamic_frame, "dynamic.frame",
+                "Dynamic frame-step — refit lifecycle vs per-frame rebuild",
+                "refitting a persistent accel amortizes the per-frame BVH build "
+                "(the standard RT driver practice for dynamic geometry)",
+                "absolute sizes; small-motion drift (~10% of r per frame)") {
+  // Three timing pairs per size, refit-lifecycle vs rebuild-every-frame:
+  //   frame_step  the per-frame *index* work the lifecycle changes
+  //               (time.bvh + time.refit of the frame's Report) — query
+  //               cost, identical code on both paths, excluded
+  //   track       end-to-end frame, tracking load (Q = N/10 window)
+  //   selfknn     end-to-end frame, SPH shape (Q = N self-neighborhoods;
+  //               search-bound, so the end-to-end ratio compresses)
+  std::printf("%8s %12s  %14s %14s %9s %10s\n", "points", "timing", "refit[s]",
+              "rebuild[s]", "speedup", "frames/s");
+  for (const std::size_t n : {std::size_t{10'000}, std::size_t{100'000},
+                              std::size_t{1'000'000}}) {
+    const std::string label =
+        n == 10'000 ? "10k" : (n == 100'000 ? "100k" : "1000k");
+    const data::PointCloud cloud =
+        morton_ordered_cloud(n, bench::mix_seed(ctx.seed(), 271));
+    const SearchParams params = frame_params(n);
+    data::DriftParams drift;
+    drift.velocity = 0.1f * params.radius;
+    drift.seed = bench::mix_seed(ctx.seed(), 39);
+
+    // One motion stream and one session/searcher per measured timing, so
+    // every sample is a fresh frame absorbed by the path under test.
+    enum class Load { kIndex, kTrack, kSelf };
+    struct FrameTiming {
+      const char* name;
+      Load load;
+    };
+    for (const FrameTiming timing : {FrameTiming{"frame_step", Load::kIndex},
+                                     FrameTiming{"track", Load::kTrack},
+                                     FrameTiming{"selfknn", Load::kSelf}}) {
+      // Refit lifecycle path.
+      DynamicSearchSession session(params);
+      data::DriftMotion session_motion(cloud, drift);
+      (void)session.step(session_motion.points());  // frame 0: build, untimed
+      NeighborSearch::Report last_report;
+      const double refit_s = ctx.sample(
+          std::string(timing.name) + ".refit." + label,
+          [&] {
+            const data::PointCloud& frame = session_motion.step();  // untimed
+            Timer timer;
+            if (timing.load == Load::kSelf) {
+              (void)session.step(frame, &last_report);
+            } else {
+              (void)session.step(frame, tracked_queries(frame), &last_report);
+            }
+            return timing.load == Load::kIndex
+                       ? last_report.time.bvh + last_report.time.refit
+                       : timer.elapsed();
+          },
+          {.work_items = static_cast<double>(n)});
+      if (timing.load == Load::kSelf) {
+        ctx.metric("sah_inflation." + label, last_report.sah_inflation);
+      }
+
+      // The pre-lifecycle behavior: upload + from-scratch build per frame.
+      NeighborSearch rebuild;
+      data::DriftMotion rebuild_motion(cloud, drift);
+      const double rebuild_s = ctx.sample(
+          std::string(timing.name) + ".rebuild." + label,
+          [&] {
+            const data::PointCloud& frame = rebuild_motion.step();
+            NeighborSearch::Report report;
+            Timer timer;
+            rebuild.set_points(frame);
+            if (timing.load == Load::kSelf) {
+              (void)rebuild.search(frame, params, &report);
+            } else {
+              (void)rebuild.search(tracked_queries(frame), params, &report);
+            }
+            return timing.load == Load::kIndex ? report.time.bvh : timer.elapsed();
+          },
+          {.work_items = static_cast<double>(n)});
+
+      ctx.metric(std::string("speedup.") + timing.name + "." + label,
+                 rebuild_s / refit_s, "x");
+      if (timing.load == Load::kIndex) {
+        std::printf("%8zu %12s  %14.5f %14.5f %8.2fx\n", n, timing.name, refit_s,
+                    rebuild_s, rebuild_s / refit_s);
+      } else {
+        std::printf("%8zu %12s  %14.5f %14.5f %8.2fx %10.1f\n", n, timing.name,
+                    refit_s, rebuild_s, rebuild_s / refit_s, 1.0 / refit_s);
+      }
+    }
+  }
+}
+
+RTNN_BENCH_CASE(dynamic_policy, "dynamic.policy",
+                "Refit-vs-rebuild policy — correspondence-free lidar sweeps",
+                "frames with no per-point correspondence inflate the refitted "
+                "tree's SAH; the cost model must detect it and rebuild",
+                "100k-point sweeps; policy counters, not timings") {
+  data::LidarParams lidar;
+  lidar.target_points = 100'000;
+  lidar.seed = bench::mix_seed(ctx.seed(), 5);
+  const data::LidarSweep sweep(lidar, /*frame_advance=*/1.5f);
+
+  SearchParams params;
+  params.mode = SearchMode::kKnn;
+  params.k = kFrameK;
+  params.radius = 0.5f;  // ~K neighbors at this density
+  params.opts = OptimizationFlags::none();
+
+  DynamicSearchSession session(params);
+  std::uint32_t refits = 0;
+  std::uint32_t rebuilds = 0;
+  double max_inflation = 1.0;
+  constexpr std::uint32_t kFrames = 5;
+  std::printf("%6s %8s %10s %14s\n", "frame", "action", "inflation", "step[s]");
+  for (std::uint32_t t = 0; t < kFrames; ++t) {
+    const data::PointCloud frame = sweep.frame(t);
+    NeighborSearch::Report report;
+    Timer timer;
+    (void)session.step(frame, tracked_queries(frame), &report);
+    const double seconds = timer.elapsed();
+    refits += report.accel_refits;
+    rebuilds += report.accel_rebuilds;
+    max_inflation = std::max(max_inflation, report.sah_inflation);
+    const char* action = report.accel_refits ? "refit"
+                         : report.accel_rebuilds ? "rebuild"
+                                                 : "build";
+    std::printf("%6u %8s %10.3f %14.5f\n", t, action, report.sah_inflation, seconds);
+  }
+  ctx.metric("refits", refits);
+  ctx.metric("rebuilds", rebuilds);
+  ctx.metric("max_sah_inflation", max_inflation);
+}

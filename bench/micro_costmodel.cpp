@@ -33,11 +33,16 @@ RTNN_BENCH_CASE(micro_costmodel, "micro.costmodel",
   ctx.metric("k2_ns", model.k2 * 1e9, "ns");
   ctx.metric("k3_slow_ns", model.k3_slow * 1e9, "ns");
   ctx.metric("k3_fast_ns", model.k3_fast * 1e9, "ns");
+  ctx.metric("k_refit_ns", model.k_refit * 1e9, "ns");
   ctx.metric("ratio.k2_over_k1", model.k2 / model.k1, "x");
   ctx.metric("ratio.k3_slow_over_fast", model.k3_slow / model.k3_fast, "x");
+  ctx.metric("ratio.k1_over_k_refit", model.k1 / model.k_refit, "x");
 
   std::printf("sample: %zu lidar points, r = %.3f, K = 16\n\n", points.size(), radius);
   std::printf("k1 (BVH build / AABB)          = %10.2f ns\n", model.k1 * 1e9);
+  std::printf("k_refit (accel refit / AABB)   = %10.2f ns  (k1:k_refit = %.1f:1; the\n"
+              "                                  refit-vs-rebuild policy needs < 1:1)\n",
+              model.k_refit * 1e9, model.k1 / model.k_refit);
   std::printf("k2 (KNN IS call)               = %10.2f ns\n", model.k2 * 1e9);
   std::printf("k3_slow (range IS, sphere test)= %10.2f ns\n", model.k3_slow * 1e9);
   std::printf("k3_fast (range IS, test elided)= %10.2f ns\n", model.k3_fast * 1e9);

@@ -63,7 +63,7 @@ PointCloud lidar_scan(const LidarParams& params) {
   // Points per frame = beams * azimuth steps; pick azimuth resolution so a
   // frame is ~130k points (KITTI-like), then emit frames until target.
   const std::uint32_t azimuth_steps = 2048;
-  float vehicle_x = 0.0f;
+  float vehicle_x = params.vehicle_start_x;
   std::uint64_t frame = 0;
   while (cloud.size() < params.target_points) {
     const Vec3 origin{vehicle_x, rng.uniform(-0.5f, 0.5f), sensor_height};

@@ -27,6 +27,11 @@ struct LidarParams {
   float range_noise = 0.02f;             // 1-sigma meters
   std::uint32_t num_boxes = 60;          // scene clutter (cars, boxes)
   float scene_half_extent = 60.0f;       // meters; scene is a square street
+  /// Where the vehicle starts along the street (x, meters). The scene is
+  /// a function of `seed` alone, so two scans differing only here are the
+  /// same world sampled from different positions — consecutive sweep
+  /// frames (see data::LidarSweep).
+  float vehicle_start_x = 0.0f;
 };
 
 PointCloud lidar_scan(const LidarParams& params);

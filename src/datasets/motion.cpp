@@ -1,0 +1,56 @@
+#include "datasets/motion.hpp"
+
+#include <cmath>
+
+#include "core/error.hpp"
+
+namespace rtnn::data {
+
+DriftMotion::DriftMotion(PointCloud initial, const DriftParams& params)
+    : points_(std::move(initial)), params_(params), rng_(params.seed, 0xd81f7ull) {
+  RTNN_CHECK(!points_.empty(), "drift motion needs points");
+  RTNN_CHECK(params_.velocity >= 0.0f && params_.jitter >= 0.0f,
+             "motion magnitudes must be non-negative");
+  box_ = bounds(points_);
+  // Persistent per-point velocities: isotropic Gaussian with RMS length
+  // `velocity` (sigma = velocity / sqrt(3) per axis).
+  const float sigma = params_.velocity / std::sqrt(3.0f);
+  velocity_.resize(points_.size());
+  for (Vec3& v : velocity_) {
+    v = {rng_.normal() * sigma, rng_.normal() * sigma, rng_.normal() * sigma};
+  }
+}
+
+const PointCloud& DriftMotion::step() {
+  const float jitter_sigma = params_.velocity * params_.jitter / std::sqrt(3.0f);
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    Vec3 delta = velocity_[i];
+    if (jitter_sigma > 0.0f) {
+      delta += Vec3{rng_.normal() * jitter_sigma, rng_.normal() * jitter_sigma,
+                    rng_.normal() * jitter_sigma};
+    }
+    Vec3 p = points_[i] + delta;
+    // Reflect at the initial bounds (and flip the persistent velocity so
+    // the point keeps moving away from the wall next frame).
+    for (int axis = 0; axis < 3; ++axis) {
+      if (p[axis] < box_.lo[axis]) {
+        p[axis] = 2.0f * box_.lo[axis] - p[axis];
+        velocity_[i][axis] = -velocity_[i][axis];
+      } else if (p[axis] > box_.hi[axis]) {
+        p[axis] = 2.0f * box_.hi[axis] - p[axis];
+        velocity_[i][axis] = -velocity_[i][axis];
+      }
+    }
+    points_[i] = p;
+  }
+  return points_;
+}
+
+PointCloud LidarSweep::frame(std::uint32_t t) const {
+  LidarParams params = base_;
+  params.vehicle_start_x =
+      base_.vehicle_start_x + frame_advance_ * static_cast<float>(t);
+  return lidar_scan(params);
+}
+
+}  // namespace rtnn::data

@@ -1,0 +1,78 @@
+// Frame-sequence motion models for dynamic point clouds.
+//
+// The paper's headline workloads are *sequences*: lidar frames from a
+// moving vehicle, SPH particles advancing a timestep, N-body snapshots.
+// These generators produce deterministic frame streams over the static
+// datasets so the dynamic index lifecycle (build / refit / rebuild) can be
+// exercised and benchmarked:
+//
+//   * DriftMotion — per-point persistent velocities plus white jitter,
+//     reflected off the initial bounds. Point identity is preserved and
+//     per-frame displacement is small: the refit-friendly regime
+//     (SPH/N-body-like).
+//   * LidarSweep — the same procedural street re-scanned from a scanner
+//     advanced along it each frame. Equal-size frames with *no* per-point
+//     correspondence: the regime where refit quality collapses and the
+//     cost model's policy must rebuild.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/rng.hpp"
+#include "datasets/lidar.hpp"
+#include "datasets/point_cloud.hpp"
+
+namespace rtnn::data {
+
+struct DriftParams {
+  /// Per-frame RMS displacement, in cloud units. For a refit-friendly
+  /// sequence keep this a small fraction of the search radius.
+  float velocity = 0.01f;
+  /// Fraction of `velocity` applied as fresh Gaussian noise each frame on
+  /// top of the persistent per-point velocity (0 = pure ballistic drift).
+  float jitter = 0.25f;
+  std::uint64_t seed = 7;
+};
+
+/// Jittered drift over a fixed point population. Velocities are drawn
+/// once; each step() advances every point and reflects it at the initial
+/// bounding box, so the density stays stationary over arbitrarily many
+/// frames (no dispersal, no drift of the working set out of the scene).
+class DriftMotion {
+ public:
+  DriftMotion(PointCloud initial, const DriftParams& params = {});
+
+  /// Advances one frame in place and returns the new positions.
+  const PointCloud& step();
+
+  const PointCloud& points() const { return points_; }
+  std::size_t size() const { return points_.size(); }
+
+ private:
+  PointCloud points_;
+  std::vector<Vec3> velocity_;
+  Aabb box_;
+  DriftParams params_;
+  Pcg32 rng_;
+};
+
+/// Consecutive spinning-lidar sweeps of one street scene: frame t is
+/// lidar_scan() of the same world (same seed, same clutter) with the
+/// vehicle advanced t * frame_advance meters. Every frame has exactly
+/// base.target_points points; successive frames overlap heavily but share
+/// no per-point correspondence.
+class LidarSweep {
+ public:
+  explicit LidarSweep(const LidarParams& base, float frame_advance_m = 1.5f)
+      : base_(base), frame_advance_(frame_advance_m) {}
+
+  PointCloud frame(std::uint32_t t) const;
+  std::size_t frame_size() const { return base_.target_points; }
+
+ private:
+  LidarParams base_;
+  float frame_advance_;
+};
+
+}  // namespace rtnn::data

@@ -31,6 +31,16 @@ void AutoBackend::set_points(std::span<const Vec3> points) {
   points_.assign(points.begin(), points.end());
   stats_grid_valid_ = false;
   ++generation_;
+  ++lineage_;  // a fresh upload: stale slots must rebuild, not refit
+}
+
+void AutoBackend::update_points(std::span<const Vec3> points) {
+  RTNN_CHECK(!points_.empty(), "set_points() before update_points()");
+  RTNN_CHECK(points.size() == points_.size(),
+             "update_points() requires the same point count");
+  std::copy(points.begin(), points.end(), points_.begin());
+  stats_grid_valid_ = false;  // density estimate tracks positions
+  ++generation_;              // same lineage: stale slots may refit
 }
 
 void AutoBackend::set_cost_model(const CostModel& model) {
@@ -46,8 +56,16 @@ SearchBackend& AutoBackend::acquire(std::string_view name) {
   for (auto& [existing, slot] : backends_) {
     if (existing == name) {
       if (slot.points_generation != generation_) {
-        slot.backend->set_points(points_);
+        // Same lineage = the cloud only *moved* since this slot's upload
+        // (any number of frames ago): deliver it as a move so dynamic
+        // backends refit. A new lineage means a fresh upload.
+        if (slot.upload_lineage == lineage_) {
+          slot.backend->update_points(points_);
+        } else {
+          slot.backend->set_points(points_);
+        }
         slot.points_generation = generation_;
+        slot.upload_lineage = lineage_;
       }
       return *slot.backend;
     }
@@ -59,6 +77,7 @@ SearchBackend& AutoBackend::acquire(std::string_view name) {
   }
   slot.backend->set_points(points_);
   slot.points_generation = generation_;
+  slot.upload_lineage = lineage_;
   backends_.emplace_back(std::string(name), std::move(slot));
   return *backends_.back().second.backend;
 }

@@ -43,8 +43,14 @@ class AutoBackend final : public SearchBackend {
   AutoBackend();
 
   std::string_view name() const override { return "auto"; }
-  BackendCaps caps() const override { return {.range = true, .knn = true}; }
+  BackendCaps caps() const override {
+    return {.range = true, .knn = true, .dynamic = true};
+  }
   void set_points(std::span<const Vec3> points) override;
+  /// Dynamic lifecycle, forwarded: candidates that were already
+  /// materialized receive the move as update_points() (refit where they
+  /// can), so per-frame re-dispatch keeps amortizing index work.
+  void update_points(std::span<const Vec3> points) override;
   std::size_t point_count() const override { return points_.size(); }
   NeighborResult search(std::span<const Vec3> queries, const SearchParams& params,
                         Report* report = nullptr) override;
@@ -74,9 +80,11 @@ class AutoBackend final : public SearchBackend {
   struct Slot {
     std::unique_ptr<SearchBackend> backend;
     std::uint64_t points_generation = 0;  // last generation uploaded
+    std::uint64_t upload_lineage = 0;     // set_points lineage of that upload
   };
   std::vector<std::pair<std::string, Slot>> backends_;
-  std::uint64_t generation_ = 0;
+  std::uint64_t generation_ = 0;  // bumped by every points change
+  std::uint64_t lineage_ = 0;     // bumped only by set_points (count resets)
   std::string last_choice_;
 };
 

@@ -70,8 +70,15 @@ class OctreeBackend final : public SearchBackend {
 class FastRnnBackend final : public SearchBackend {
  public:
   std::string_view name() const override { return "fastrnn"; }
-  BackendCaps caps() const override { return {.knn = true, .launch_stats = true}; }
+  BackendCaps caps() const override {
+    return {.knn = true, .launch_stats = true, .dynamic = true};
+  }
   void set_points(std::span<const Vec3> points) override { search_.set_points(points); }
+  /// Even the naive mapping refits: the reference rtnn code assumes the
+  /// driver's AS update path for dynamic clouds.
+  void update_points(std::span<const Vec3> points) override {
+    search_.update_points(points);
+  }
   std::size_t point_count() const override { return search_.point_count(); }
   NeighborResult search(std::span<const Vec3> queries, const SearchParams& params,
                         Report* report) override;
@@ -86,9 +93,15 @@ class RtnnBackend final : public SearchBackend {
  public:
   std::string_view name() const override { return "rtnn"; }
   BackendCaps caps() const override {
-    return {.range = true, .knn = true, .approximate = true, .launch_stats = true};
+    return {.range = true, .knn = true, .approximate = true, .launch_stats = true,
+            .dynamic = true};
   }
   void set_points(std::span<const Vec3> points) override { search_.set_points(points); }
+  /// Dynamic lifecycle: keeps the base-width accel across frames and lets
+  /// the cost model refit or rebuild it (Report::time.refit / time.bvh).
+  void update_points(std::span<const Vec3> points) override {
+    search_.update_points(points);
+  }
   std::size_t point_count() const override { return search_.point_count(); }
   NeighborResult search(std::span<const Vec3> queries, const SearchParams& params,
                         Report* report) override {

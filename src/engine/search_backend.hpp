@@ -11,6 +11,11 @@
 // Contract:
 //   * set_points() uploads the point set; it may be called repeatedly and
 //     invalidates any previously built structure.
+//   * update_points() moves an already-uploaded set to new positions
+//     (same count, same ids) — the dynamic-cloud lifecycle. Backends with
+//     caps().dynamic refit their structures in place; the base-class
+//     default falls back to set_points() (a full rebuild), so callers
+//     drive frame sequences without ever branching on capability.
 //   * search() answers `queries` under `params` (same SearchParams as the
 //     RTNN core — mode, radius, k). Backends build their spatial index
 //     lazily on first search (and rebuild when the radius changes, for
@@ -47,6 +52,12 @@ struct BackendCaps {
   /// Fills the launch statistics (IS calls, node visits) of the Report;
   /// every backend fills the phase timings.
   bool launch_stats = false;
+  /// update_points() is genuinely cheaper than set_points() + rebuild:
+  /// the backend keeps its spatial index alive across frames and refits
+  /// it in place (charging the Report's time.refit phase). Backends
+  /// without this flag still accept update_points() — it just costs a
+  /// rebuild.
+  bool dynamic = false;
 };
 
 class SearchBackend {
@@ -62,6 +73,12 @@ class SearchBackend {
 
   /// Uploads the search points. Invalidates prior structures.
   virtual void set_points(std::span<const Vec3> points) = 0;
+
+  /// Moves the uploaded points to new positions (same count, same ids) —
+  /// one frame of a dynamic sequence. Dynamic backends (caps().dynamic)
+  /// refit in place; this default rebuilds via set_points(), so every
+  /// backend honors the call.
+  virtual void update_points(std::span<const Vec3> points) { set_points(points); }
 
   virtual std::size_t point_count() const = 0;
 

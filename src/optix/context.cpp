@@ -18,4 +18,39 @@ Accel Context::build_accel(std::span<const Aabb> prim_aabbs,
   return accel;
 }
 
+namespace {
+
+/// Copy-on-write handle for a refit: the build product may be shared with
+/// other Accel handles (they are snapshots, like real GASes); mutate in
+/// place only when the caller is the sole owner.
+std::shared_ptr<detail::AccelData> writable(
+    const std::shared_ptr<const detail::AccelData>& data) {
+  if (data.use_count() == 1) {
+    return std::const_pointer_cast<detail::AccelData>(data);
+  }
+  return std::make_shared<detail::AccelData>(*data);
+}
+
+}  // namespace
+
+void Accel::refit(std::span<const Aabb> prim_aabbs) {
+  RTNN_CHECK(built(), "refit of an unbuilt accel");
+  Timer timer;
+  std::shared_ptr<detail::AccelData> data = writable(data_);
+  data->bvh.refit(prim_aabbs);
+  data->wide.refit_from(data->bvh);
+  data_ = std::move(data);
+  refit_seconds_ = timer.elapsed();
+}
+
+void Accel::refit(std::span<const Vec3> points, float aabb_width) {
+  RTNN_CHECK(built(), "refit of an unbuilt accel");
+  Timer timer;
+  std::shared_ptr<detail::AccelData> data = writable(data_);
+  data->bvh.refit(points, aabb_width);
+  data->wide.refit_from(data->bvh);
+  data_ = std::move(data);
+  refit_seconds_ = timer.elapsed();
+}
+
 }  // namespace rtnn::ox

@@ -61,6 +61,10 @@ struct AccelData {
 }  // namespace detail
 
 /// Geometry acceleration structure (GAS) over custom AABB primitives.
+/// Lifecycle: build_accel() creates it; refit() updates it in place for
+/// moved primitives (the OPTIX_BUILD_OPERATION_UPDATE analog); a changed
+/// primitive count means a new build_accel(). Copies share the build
+/// product; refitting one handle never mutates data another handle sees.
 class Accel {
  public:
   Accel() = default;
@@ -80,13 +84,34 @@ class Accel {
   std::uint32_t prim_count() const { return data_ ? data_->bvh.prim_count() : 0; }
   bool built() const { return data_ != nullptr; }
 
+  /// Refits both representations to moved primitive boxes (same count and
+  /// id order as the build): bottom-up bound refresh on the binary tree,
+  /// then an in-place SoA lane rewrite on the wide mirror — topology and
+  /// collapse reused, no Morton sort, no re-collapse. Cost is charged to
+  /// refit_seconds() (the time.refit phase), not build_seconds(). Quality
+  /// after cumulative motion is observable via sah_inflation().
+  void refit(std::span<const Aabb> prim_aabbs);
+
+  /// Point-cloud fast path: refit over Aabb::cube(points[i], aabb_width)
+  /// without materializing the box array (the per-frame RTNN shape).
+  void refit(std::span<const Vec3> points, float aabb_width);
+
   /// Build-time of the last build, seconds (the BVH phase of Figure 12).
   double build_seconds() const { return build_seconds_; }
+
+  /// Wall time of the last refit(), seconds (the Refit phase).
+  double refit_seconds() const { return refit_seconds_; }
+
+  /// SAH cost relative to the last full build of this topology: 1.0 when
+  /// freshly built, growing as refits stretch the boxes. Feeds the
+  /// refit-vs-rebuild policy (CostModel::max_sah_inflation).
+  double sah_inflation() const { return data_ ? data_->bvh.sah_inflation() : 1.0; }
 
  private:
   friend class Context;
   std::shared_ptr<const detail::AccelData> data_;
   double build_seconds_ = 0.0;
+  double refit_seconds_ = 0.0;
 };
 
 struct LaunchOptions {

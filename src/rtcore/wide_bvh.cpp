@@ -73,9 +73,11 @@ void fill_bounds(WideBvhNode& node, std::span<const BvhNode> bin_nodes,
 void WideBvh::build(const Bvh& source) {
   nodes_.clear();
   leaves_.clear();
+  slot_sources_.clear();
   max_depth_ = 0;
   prim_order_.assign(source.prim_order().begin(), source.prim_order().end());
   prim_aabbs_.assign(source.prim_aabbs().begin(), source.prim_aabbs().end());
+  source_node_count_ = static_cast<std::uint32_t>(source.nodes().size());
   if (source.empty()) return;
 
   const std::span<const BvhNode> bin_nodes = source.nodes();
@@ -98,12 +100,13 @@ void WideBvh::build(const Bvh& source) {
   std::vector<Pending> queue;
   queue.reserve(node_estimate);
   queue.push_back({source.root(), 0, 0});
-  std::vector<SlotSources> slot_src;  // parallel fill only; unused inline
-  if (!inline_fill) slot_src.reserve(node_estimate);
+  // Slot sources are recorded for every node: the parallel bounds fill
+  // consumes them now, refit_from() consumes them for the tree's lifetime.
+  slot_sources_.reserve(node_estimate);
   nodes_.reserve(node_estimate);
   leaves_.reserve((bin_nodes.size() + 1) / 2);
   nodes_.emplace_back();
-  if (!inline_fill) slot_src.emplace_back();
+  slot_sources_.emplace_back();
 
   for (std::size_t head = 0; head < queue.size(); ++head) {
     const Pending p = queue[head];
@@ -135,7 +138,7 @@ void WideBvh::build(const Bvh& source) {
         const auto child_index = static_cast<std::uint32_t>(nodes_.size());
         children[i] = child_index;
         nodes_.emplace_back();
-        if (!inline_fill) slot_src.emplace_back();
+        slot_sources_.emplace_back();
         queue.push_back({frontier[i], child_index, p.depth + 1});
       }
     }
@@ -143,18 +146,36 @@ void WideBvh::build(const Bvh& source) {
     WideBvhNode& node = nodes_[p.wide_index];
     node.count = size;
     std::copy(children.begin(), children.end(), node.child);
-    if (inline_fill) {
-      fill_bounds(node, bin_nodes, frontier);
-    } else {
-      slot_src[p.wide_index] = frontier;
-    }
+    slot_sources_[p.wide_index] = frontier;
+    if (inline_fill) fill_bounds(node, bin_nodes, frontier);
   }
   if (inline_fill) return;
 
   // Phase 2 (parallel): the SoA bounds fill — the bulk of the writes.
   parallel_for(0, static_cast<std::int64_t>(nodes_.size()), [&](std::int64_t ni) {
     fill_bounds(nodes_[static_cast<std::size_t>(ni)], bin_nodes,
-                slot_src[static_cast<std::size_t>(ni)]);
+                slot_sources_[static_cast<std::size_t>(ni)]);
+  }, grain::kElementwise / kWideBvhWidth);
+}
+
+void WideBvh::refit_from(const Bvh& source) {
+  RTNN_CHECK(static_cast<std::uint32_t>(source.nodes().size()) == source_node_count_ &&
+                 source.prim_count() == prim_count(),
+             "refit_from requires the Bvh this WideBvh was collapsed from");
+  if (nodes_.empty()) return;
+  RTNN_DCHECK(std::equal(prim_order_.begin(), prim_order_.end(),
+                         source.prim_order().begin()),
+              "source primitive order diverged from the collapse");
+
+  // Only boxes change: refresh the primitive snapshot and rewrite every
+  // node's SoA lanes from the recorded collapse frontier. No topology
+  // decisions, no allocation — a flat parallel copy.
+  const std::span<const BvhNode> bin_nodes = source.nodes();
+  const std::span<const Aabb> moved = source.prim_aabbs();
+  std::copy(moved.begin(), moved.end(), prim_aabbs_.begin());
+  parallel_for(0, static_cast<std::int64_t>(nodes_.size()), [&](std::int64_t ni) {
+    fill_bounds(nodes_[static_cast<std::size_t>(ni)], bin_nodes,
+                slot_sources_[static_cast<std::size_t>(ni)]);
   }, grain::kElementwise / kWideBvhWidth);
 }
 

@@ -17,6 +17,7 @@
 // the RT cores' wide tree does in hardware.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -74,8 +75,18 @@ class WideBvh {
 
   /// Collapses `source` into wide nodes. Topology is decided in one cheap
   /// serial pass; the SoA bounds fill (the bulk of the memory traffic) runs
-  /// in parallel over the wide nodes.
+  /// in parallel over the wide nodes. The binary node feeding each child
+  /// slot is recorded so later refit_from() calls can refresh the lanes
+  /// without re-collapsing.
   void build(const Bvh& source);
+
+  /// Refreshes the SoA min/max lanes (and the primitive snapshot) from an
+  /// already-refitted `source` — which must be the same tree build() last
+  /// collapsed, with the same topology. The collapse decision (which
+  /// binary node landed in which slot) is reused verbatim; only boxes are
+  /// rewritten, in parallel. Together with Bvh::refit this keeps both
+  /// traversal representations coherent at a fraction of a rebuild.
+  void refit_from(const Bvh& source);
 
   bool empty() const { return nodes_.empty(); }
   std::uint32_t root() const { return 0; }
@@ -102,6 +113,11 @@ class WideBvh {
   std::vector<std::uint32_t> prim_order_;
   std::vector<Aabb> prim_aabbs_;
   std::uint32_t max_depth_ = 0;
+  /// slot_sources_[node][slot] = binary node id whose bounds fill that
+  /// slot's lanes (the collapse frontier), kept so refit_from() is a flat
+  /// parallel copy. ~32 B per 256 B node.
+  std::vector<std::array<std::uint32_t, kWideBvhWidth>> slot_sources_;
+  std::uint32_t source_node_count_ = 0;  // binary node count build() saw
 };
 
 }  // namespace rtnn::rt

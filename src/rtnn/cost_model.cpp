@@ -54,6 +54,12 @@ Bundle make_bundle(std::span<const std::uint32_t> members, const PartitionSet& s
 
 }  // namespace
 
+IndexUpdate choose_index_update(const CostModel& model, double sah_inflation) {
+  if (model.k_refit >= model.k1) return IndexUpdate::kRebuild;
+  if (sah_inflation > model.max_sah_inflation) return IndexUpdate::kRebuild;
+  return IndexUpdate::kRefit;
+}
+
 BundlePlan unbundled_plan(const PartitionSet& set, const SearchParams& params) {
   BundlePlan plan;
   plan.m_opt = static_cast<std::uint32_t>(set.partitions.size());
@@ -128,9 +134,19 @@ CostModel CostModel::calibrate(std::span<const Vec3> sample_points, float radius
   }
   const ox::Context ctx;
   Timer build_timer;
-  const ox::Accel accel = ctx.build_accel(aabbs);
+  ox::Accel accel = ctx.build_accel(aabbs);
   const double t_build = build_timer.elapsed();
   model.k1 = t_build / static_cast<double>(sample_points.size());
+
+  // --- k_refit: in-place accel update per AABB. Motion-independent (the
+  // sweep touches every node either way), so refitting with the same
+  // positions measures it faithfully — through the point-cloud fast path
+  // the per-frame lifecycle actually uses.
+  {
+    Timer refit_timer;
+    accel.refit(sample_points, 2.0f * radius);
+    model.k_refit = refit_timer.elapsed() / static_cast<double>(sample_points.size());
+  }
 
   // Queries = the sample points themselves (self-neighborhoods, the
   // common workload shape).

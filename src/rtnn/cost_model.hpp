@@ -41,6 +41,17 @@ struct CostModel {
   double k2 = 6.0e-9;       // KNN IS call (sphere test + heap)
   double k3_slow = 3.0e-8;  // range IS call with sphere test
   double k3_fast = 6.0e-9;  // range IS call, sphere test elided
+  /// Accel refit per AABB (leaf refresh + level sweep + SoA lane rewrite).
+  /// Well under k1 on every substrate — refitting skips the Morton sort,
+  /// the tree build and the wide collapse — which is what makes the
+  /// dynamic-cloud lifecycle pay off.
+  double k_refit = 3.0e-8;
+  /// Quality guard of the refit-vs-rebuild policy: once cumulative motion
+  /// has inflated the refitted tree's SAH cost past this factor of its
+  /// fresh build, predicted search savings are judged forfeited and the
+  /// next frame rebuilds. Matches the ~1.3-1.5x degradation point where
+  /// measured traversal work starts tracking the SAH estimate upward.
+  double max_sah_inflation = 1.4;
   bool calibrated = false;
 
   /// Offline profiling (paper: "obtained offline through profiling the BVH
@@ -64,6 +75,21 @@ struct BundlePlan {
   double predicted_seconds = 0.0;
   std::uint32_t m_opt = 0;  // number of bundles chosen
 };
+
+/// The two ways a persistent index can absorb a frame of motion.
+enum class IndexUpdate : std::uint8_t {
+  kRefit,    // bounds refreshed in place, topology reused
+  kRebuild,  // from-scratch build (Morton sort + tree + wide collapse)
+};
+
+/// Per-frame index decision for a dynamic point cloud: refit when it is
+/// both cheaper (k_refit < k1; per-AABB costs make the comparison
+/// size-independent) and the observed quality degradation of the current
+/// index is within max_sah_inflation; otherwise rebuild. The inflation is
+/// *measured* on the live tree (Bvh::sah_inflation), not predicted — the
+/// policy reacts one frame after quality collapses, which bounds the
+/// damage to a single degraded search.
+IndexUpdate choose_index_update(const CostModel& model, double sah_inflation);
 
 /// The default strategy (Listing 3): one bundle per partition.
 BundlePlan unbundled_plan(const PartitionSet& set, const SearchParams& params);

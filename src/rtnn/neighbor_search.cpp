@@ -12,6 +12,23 @@ namespace rtnn {
 void NeighborSearch::set_points(std::span<const Vec3> points) {
   points_.assign(points.begin(), points.end());
   grid_valid_ = false;
+  index_cache_ = IndexCache{};  // a new upload invalidates the lifecycle
+}
+
+void NeighborSearch::update_points(std::span<const Vec3> points) {
+  RTNN_CHECK(!points_.empty(), "set_points() before update_points()");
+  RTNN_CHECK(points.size() == points_.size(),
+             "update_points() requires the same point count; a resized cloud "
+             "is a new set_points() upload");
+  std::copy(points.begin(), points.end(), points_.begin());
+  grid_valid_ = false;          // megacell grid tracks positions
+  index_cache_.moved = true;    // resolved refit-vs-rebuild at next search
+  index_persistence_ = true;
+}
+
+void NeighborSearch::set_index_persistence(bool on) {
+  index_persistence_ = on;
+  if (!on) index_cache_ = IndexCache{};
 }
 
 PartitionSet NeighborSearch::partition(std::span<const Vec3> queries,
@@ -22,7 +39,7 @@ PartitionSet NeighborSearch::partition(std::span<const Vec3> queries,
 }
 
 void NeighborSearch::init_context(SearchContext& ctx, std::span<const Vec3> queries,
-                                  const SearchParams& params) const {
+                                  const SearchParams& params) {
   RTNN_CHECK(!points_.empty(), "set_points() before search()");
   RTNN_CHECK(params.radius > 0.0f, "radius must be positive");
   RTNN_CHECK(params.k > 0, "K must be positive");
@@ -36,6 +53,7 @@ void NeighborSearch::init_context(SearchContext& ctx, std::span<const Vec3> quer
   ctx.cost_model = &cost_model_;
   ctx.grid = &grid_;
   ctx.grid_valid = &grid_valid_;
+  ctx.index_cache = index_persistence_ ? &index_cache_ : nullptr;
   ctx.base_width = 2.0f * params.radius * params.aabb_scale;
 
   // Data phase: queries land in device memory.

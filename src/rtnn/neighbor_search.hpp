@@ -38,6 +38,18 @@ class FlatKnnHeaps;
 class SearchStage;
 struct SearchContext;
 
+/// The persistent base-width accel of a dynamic sequence, owned by
+/// NeighborSearch and threaded into each search()'s SearchContext when
+/// index persistence is on. `moved` marks positions changed since the
+/// accel last synced; the refit-vs-rebuild policy resolves it at the next
+/// acquire (see SearchContext::acquire_global_accel in stages.cpp).
+struct IndexCache {
+  ox::Accel accel;
+  float width = -1.0f;     // AABB width the accel was built at
+  std::size_t count = 0;   // point count it covers
+  bool moved = false;
+};
+
 class NeighborSearch {
  public:
   /// Everything the benches report about one search() call.
@@ -48,12 +60,32 @@ class NeighborSearch {
     std::uint32_t num_partitions = 0;
     std::uint32_t num_bundles = 0;
     double predicted_bundle_cost = 0.0;
+    // Index lifecycle of this call (persistent-index searches only; all
+    // zero / 1.0 on the static path).
+    std::uint32_t accel_refits = 0;    // base accel refitted this call
+    std::uint32_t accel_rebuilds = 0;  // base accel rebuilt by the policy
+    double sah_inflation = 1.0;        // base accel quality after this call
   };
 
   NeighborSearch() = default;
 
   /// Uploads the search points (the Data phase). Invalidates prior accels.
   void set_points(std::span<const Vec3> points);
+
+  /// Moves the uploaded points to new positions — one frame of a dynamic
+  /// sequence. Requires set_points() first and an identical count (a
+  /// resized cloud is a new upload, not a move). Enables index
+  /// persistence: the next search() refits or rebuilds the cached
+  /// base-width accel per the cost model's choose_index_update policy
+  /// instead of always rebuilding.
+  void update_points(std::span<const Vec3> points);
+
+  /// Keeps the base-width accel alive across search() calls so frame
+  /// sequences can refit instead of rebuild. Off by default: one-shot
+  /// searches keep the historical build-per-call semantics (and their
+  /// timing profile). update_points() turns it on implicitly.
+  void set_index_persistence(bool on);
+  bool index_persistence() const { return index_persistence_; }
 
   /// Supplies a calibrated cost model for bundling decisions. Without one
   /// the library falls back to the built-in defaults; pass an uncalibrated
@@ -89,16 +121,18 @@ class NeighborSearch {
                          const SearchParams& params) const;
 
  private:
-  /// Populates a SearchContext's inputs and charges the query upload to
-  /// the Data phase.
+  /// Populates a SearchContext's inputs (including the persistent index
+  /// cache when enabled) and charges the query upload to the Data phase.
   void init_context(SearchContext& ctx, std::span<const Vec3> queries,
-                    const SearchParams& params) const;
+                    const SearchParams& params);
   static NeighborResult finish_context(SearchContext& ctx, Report* report_out);
 
   std::vector<Vec3> points_;  // the "device" copy
   CostModel cost_model_{};
   mutable GridIndex grid_;    // rebuilt per point set, cached across searches
   mutable bool grid_valid_ = false;
+  IndexCache index_cache_;    // persistent base-width accel (opt-in)
+  bool index_persistence_ = false;
 };
 
 /// One-shot convenience wrapper.

@@ -21,4 +21,5 @@
 #include "rtnn/neighbor_search.hpp"
 #include "rtnn/partitioner.hpp"
 #include "rtnn/scheduler.hpp"
+#include "rtnn/stages.hpp"
 #include "rtnn/types.hpp"

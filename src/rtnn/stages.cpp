@@ -22,21 +22,63 @@ void ensure_grid_built(std::span<const Vec3> points, const SearchParams& params,
   valid = true;
 }
 
-ox::Accel SearchContext::build_accel_width(float aabb_width) {
-  // AABB generation is part of the build (Listing 1, buildBVH).
-  Timer timer;
+namespace {
+
+std::vector<Aabb> point_cubes(std::span<const Vec3> points, float width) {
   std::vector<Aabb> aabbs(points.size());
   parallel_for(0, static_cast<std::int64_t>(points.size()), [&](std::int64_t i) {
     aabbs[static_cast<std::size_t>(i)] =
-        Aabb::cube(points[static_cast<std::size_t>(i)], aabb_width);
+        Aabb::cube(points[static_cast<std::size_t>(i)], width);
   }, grain::kElementwise);
+  return aabbs;
+}
+
+}  // namespace
+
+ox::Accel SearchContext::build_accel_width(float aabb_width) {
+  // AABB generation is part of the build (Listing 1, buildBVH).
+  Timer timer;
+  const std::vector<Aabb> aabbs = point_cubes(points, aabb_width);
   const ox::Context ctx;
   ox::Accel accel = ctx.build_accel(aabbs);
   report.time.bvh += timer.elapsed();
   return accel;
 }
 
+void SearchContext::sync_index_cache() {
+  IndexCache& cache = *index_cache;
+  const bool reusable = cache.accel.built() && cache.count == points.size() &&
+                        cache.width == base_width;
+  if (!reusable) {
+    // New cloud, new radius, or first use: a fresh build is the only
+    // option (and re-anchors the quality baseline).
+    cache.accel = build_accel_width(base_width);
+    cache.width = base_width;
+    cache.count = points.size();
+    cache.moved = false;
+  } else if (cache.moved) {
+    // The per-frame decision: refit in place while it is cheaper and the
+    // observed quality holds; otherwise pay a build to reset it.
+    if (choose_index_update(*cost_model, cache.accel.sah_inflation()) ==
+        IndexUpdate::kRefit) {
+      Timer timer;
+      cache.accel.refit(points, base_width);  // boxes computed in-loop
+      report.time.refit += timer.elapsed();
+      ++report.accel_refits;
+    } else {
+      cache.accel = build_accel_width(base_width);
+      ++report.accel_rebuilds;
+    }
+    cache.moved = false;
+  }
+  report.sah_inflation = cache.accel.sah_inflation();
+}
+
 const ox::Accel& SearchContext::acquire_global_accel() {
+  if (index_cache) {
+    sync_index_cache();
+    return index_cache->accel;
+  }
   if (!global_accel.built()) global_accel = build_accel_width(base_width);
   return global_accel;
 }
@@ -184,6 +226,26 @@ void LaunchStage::run(SearchContext& ctx) {
     }
     launch_unit(ctx, *accel, unit);
   }
+}
+
+DynamicSearchSession::DynamicSearchSession(const SearchParams& params,
+                                           const CostModel& model)
+    : params_(params) {
+  search_.set_cost_model(model);
+  search_.set_index_persistence(true);
+}
+
+NeighborResult DynamicSearchSession::step(std::span<const Vec3> points,
+                                          std::span<const Vec3> queries,
+                                          NeighborSearch::Report* report) {
+  RTNN_CHECK(!points.empty(), "a frame needs points");
+  if (search_.point_count() == points.size()) {
+    search_.update_points(points);  // moved positions: refit-eligible
+  } else {
+    search_.set_points(points);     // first frame or a resize: fresh index
+  }
+  ++frame_;
+  return search_.search(queries, params_, report);
 }
 
 std::vector<std::unique_ptr<SearchStage>> make_pipeline(const OptimizationFlags& opts) {

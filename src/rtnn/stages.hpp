@@ -45,6 +45,11 @@ struct SearchContext {
   const CostModel* cost_model = nullptr;
   GridIndex* grid = nullptr;   // owner's cached grid (PartitionStage builds it)
   bool* grid_valid = nullptr;
+  /// Owner's persistent base-width accel (dynamic sequences). When set,
+  /// acquire_global_accel() serves it — refitting or rebuilding stale
+  /// entries per choose_index_update — instead of building a call-local
+  /// accel. Null on the static path.
+  IndexCache* index_cache = nullptr;
 
   // --- Evolving state ---
   float base_width = 0.0f;           // 2r·aabb_scale, the naive AABB width
@@ -68,8 +73,15 @@ struct SearchContext {
   ox::Accel build_accel_width(float aabb_width);
 
   /// The base-width BVH shared by the scheduling pre-pass and the
-  /// unpartitioned launch path.
+  /// unpartitioned launch path. With an index_cache attached this is the
+  /// index-lifecycle entry point: a fresh cloud builds (time.bvh), small
+  /// motion refits in place (time.refit), degraded or resized indexes
+  /// rebuild — per the cost model's choose_index_update policy.
   const ox::Accel& acquire_global_accel();
+
+ private:
+  /// Brings *index_cache up to date with (points, base_width).
+  void sync_index_cache();
 };
 
 /// One step of the search pipeline. Stages are stateless between runs and
@@ -135,5 +147,47 @@ class LaunchStage final : public SearchStage {
 
 /// The stage list search() runs for the given optimization flags.
 std::vector<std::unique_ptr<SearchStage>> make_pipeline(const OptimizationFlags& opts);
+
+/// Owns a point cloud across the frames of a dynamic sequence — lidar
+/// sweeps, SPH timesteps, N-body steps — and answers each frame through
+/// the index lifecycle instead of a from-scratch build:
+///
+///   frame 0    set_points + build            (time.bvh)
+///   frame t    update_points + refit         (time.refit)  — usual case
+///              ... or rebuild when the cost model's policy says the
+///              refitted index has degraded    (time.bvh)
+///
+/// step() uploads the frame's positions (a changed count falls back to a
+/// fresh upload + build) and runs the search; per-frame Reports stream the
+/// phase times, the index action taken (accel_refits / accel_rebuilds)
+/// and the observed sah_inflation. Search params are fixed at
+/// construction: a stable radius is what makes the base-width accel
+/// reusable frame over frame.
+class DynamicSearchSession {
+ public:
+  explicit DynamicSearchSession(const SearchParams& params, const CostModel& model = {});
+
+  /// Advances one frame: uploads `points` and answers `queries`.
+  NeighborResult step(std::span<const Vec3> points, std::span<const Vec3> queries,
+                      NeighborSearch::Report* report = nullptr);
+
+  /// Self-neighborhood frame: the moved points query their own
+  /// neighborhoods (the SPH / N-body shape).
+  NeighborResult step(std::span<const Vec3> points,
+                      NeighborSearch::Report* report = nullptr) {
+    return step(points, points, report);
+  }
+
+  std::uint64_t frame() const { return frame_; }
+  std::size_t point_count() const { return search_.point_count(); }
+  const SearchParams& params() const { return params_; }
+  /// The underlying engine (cost model swaps, ad-hoc queries, stats).
+  NeighborSearch& core() { return search_; }
+
+ private:
+  NeighborSearch search_;
+  SearchParams params_;
+  std::uint64_t frame_ = 0;
+};
 
 }  // namespace rtnn

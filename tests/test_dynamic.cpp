@@ -1,0 +1,446 @@
+// Dynamic point-cloud lifecycle tests: bottom-up BVH refit, wide-BVH SoA
+// box refresh, Accel coherence across refits, the refit-vs-rebuild cost
+// policy, NeighborSearch index persistence, the DynamicSearchSession, and
+// the datasets motion models.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/rng.hpp"
+#include "datasets/motion.hpp"
+#include "optix/optix.hpp"
+#include "rtnn/rtnn.hpp"
+#include "rtnn/stages.hpp"
+#include "test_util.hpp"
+
+namespace rtnn {
+namespace {
+
+using rtnn::testing::CloudKind;
+
+std::vector<Vec3> jitter_cloud(const std::vector<Vec3>& points, float sigma,
+                               std::uint64_t seed) {
+  Pcg32 rng(seed);
+  std::vector<Vec3> moved = points;
+  for (Vec3& p : moved) {
+    p += Vec3{rng.normal() * sigma, rng.normal() * sigma, rng.normal() * sigma};
+  }
+  return moved;
+}
+
+std::vector<Aabb> cubes(std::span<const Vec3> points, float width) {
+  std::vector<Aabb> aabbs(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) aabbs[i] = Aabb::cube(points[i], width);
+  return aabbs;
+}
+
+// --- rt::Bvh refit -----------------------------------------------------------
+
+TEST(BvhRefit, PreservesInvariantsAndTopology) {
+  // Sized past the parallel-level-sweep threshold (16k nodes) so multi-
+  // thread runs exercise the level schedule, not just the serial sweep.
+  const std::vector<Vec3> before = rtnn::testing::make_cloud(CloudKind::kUniform, 20'000, 3);
+  const std::vector<Vec3> after = jitter_cloud(before, 0.01f, 17);
+
+  rt::Bvh bvh;
+  bvh.build(cubes(before, 0.1f));
+  const std::size_t node_count = bvh.nodes().size();
+  const std::vector<std::uint32_t> order(bvh.prim_order().begin(), bvh.prim_order().end());
+
+  bvh.refit(cubes(after, 0.1f));
+  bvh.validate();
+  EXPECT_EQ(bvh.nodes().size(), node_count) << "refit must not change topology";
+  EXPECT_TRUE(std::equal(order.begin(), order.end(), bvh.prim_order().begin()))
+      << "refit must not reorder primitives";
+  // The primitive snapshot must be the moved boxes.
+  EXPECT_EQ(bvh.prim_aabbs()[42], Aabb::cube(after[42], 0.1f));
+}
+
+TEST(BvhRefit, IdentityRefitKeepsBoundsAndInflationAtOne) {
+  const std::vector<Vec3> points = rtnn::testing::make_cloud(CloudKind::kLidar, 3000, 5);
+  rt::Bvh bvh;
+  bvh.build(cubes(points, 2.0f));
+  const Aabb root_before = bvh.nodes()[bvh.root()].bounds;
+
+  bvh.refit(cubes(points, 2.0f));
+  bvh.validate();
+  EXPECT_EQ(bvh.nodes()[bvh.root()].bounds, root_before);
+  EXPECT_NEAR(bvh.sah_inflation(), 1.0, 1e-6);
+}
+
+TEST(BvhRefit, SahInflationGrowsWhenCorrespondenceBreaks) {
+  // Shuffling the positions destroys spatial correspondence: every leaf
+  // box teleports, internal boxes balloon, and the quality metric must see
+  // it — that observability is what drives the rebuild policy.
+  std::vector<Vec3> points = rtnn::testing::make_cloud(CloudKind::kUniform, 4000, 9);
+  rt::Bvh bvh;
+  bvh.build(cubes(points, 0.05f));
+
+  data::shuffle(points, 123);
+  bvh.refit(cubes(points, 0.05f));
+  bvh.validate();  // still a correct tree, just a bad one
+  EXPECT_GT(bvh.sah_inflation(), 2.0);
+}
+
+TEST(BvhRefit, CountMismatchThrows) {
+  const std::vector<Vec3> points = rtnn::testing::make_cloud(CloudKind::kUniform, 1000, 2);
+  rt::Bvh bvh;
+  bvh.build(cubes(points, 0.1f));
+  std::vector<Aabb> wrong = cubes(points, 0.1f);
+  wrong.pop_back();
+  EXPECT_THROW(bvh.refit(wrong), Error);
+}
+
+TEST(BvhRefit, EmptyTreeRefitsToEmpty) {
+  rt::Bvh bvh;
+  bvh.build({});
+  EXPECT_NO_THROW(bvh.refit({}));
+  EXPECT_TRUE(bvh.empty());
+}
+
+// --- rt::WideBvh refit -------------------------------------------------------
+
+TEST(WideBvhRefit, MirrorsRefittedBinaryTree) {
+  // Past the 16k-node threshold: the wide refresh mirrors a binary tree
+  // that was refitted by the parallel level sweep on multi-thread runs.
+  const std::vector<Vec3> before =
+      rtnn::testing::make_cloud(CloudKind::kUniform, 20'000, 11);
+  const std::vector<Vec3> after = jitter_cloud(before, 0.02f, 23);
+
+  rt::Bvh bvh;
+  bvh.build(cubes(before, 0.08f));
+  rt::WideBvh wide;
+  wide.build(bvh);
+  const std::size_t wide_nodes = wide.nodes().size();
+  const std::size_t wide_leaves = wide.leaves().size();
+
+  bvh.refit(cubes(after, 0.08f));
+  wide.refit_from(bvh);
+  wide.validate();
+  EXPECT_EQ(wide.nodes().size(), wide_nodes) << "collapse must be reused, not redone";
+  EXPECT_EQ(wide.leaves().size(), wide_leaves);
+  EXPECT_EQ(wide.prim_aabbs()[7], bvh.prim_aabbs()[7]) << "primitive snapshot refreshed";
+}
+
+TEST(WideBvhRefit, ForeignSourceThrows) {
+  const std::vector<Vec3> points = rtnn::testing::make_cloud(CloudKind::kUniform, 2000, 4);
+  rt::Bvh bvh;
+  bvh.build(cubes(points, 0.1f));
+  rt::WideBvh wide;
+  wide.build(bvh);
+
+  rt::Bvh other;
+  other.build(cubes(std::span<const Vec3>(points).subspan(0, 1000), 0.1f));
+  EXPECT_THROW(wide.refit_from(other), Error);
+}
+
+// --- ox::Accel refit ---------------------------------------------------------
+
+/// Records the primitive set each ray's IS shader saw.
+struct CollectPipeline {
+  std::span<const Vec3> queries;
+  std::vector<std::vector<std::uint32_t>>* hits;
+  Ray raygen(std::uint32_t i) const { return Ray::short_ray(queries[i]); }
+  ox::TraceAction intersection(std::uint32_t ray, std::uint32_t prim) {
+    (*hits)[ray].push_back(prim);
+    return ox::TraceAction::kContinue;
+  }
+};
+
+std::vector<std::vector<std::uint32_t>> collect_hits(const ox::Accel& accel,
+                                                     std::span<const Vec3> queries,
+                                                     bool use_wide) {
+  std::vector<std::vector<std::uint32_t>> hits(queries.size());
+  CollectPipeline pipeline{queries, &hits};
+  ox::LaunchOptions options;
+  options.use_wide_bvh = use_wide;
+  ox::launch(accel, pipeline, static_cast<std::uint32_t>(queries.size()), options);
+  for (auto& h : hits) std::sort(h.begin(), h.end());
+  return hits;
+}
+
+TEST(AccelRefit, RefitAndRebuildSeeIdenticalCandidateSets) {
+  // The acceptance bar of the lifecycle: a refitted accel must yield
+  // byte-identical candidate sets to a from-scratch build of the moved
+  // cloud, on both the binary and the 8-wide traversal.
+  for (const CloudKind kind : {CloudKind::kUniform, CloudKind::kLidar}) {
+    const std::vector<Vec3> before = rtnn::testing::make_cloud(kind, 4000, 13);
+    const float radius = rtnn::testing::typical_radius(kind);
+    const std::vector<Vec3> after = jitter_cloud(before, 0.05f * radius, 29);
+    const std::vector<Vec3> queries = data::jittered_queries(after, 500, 0.3f * radius, 31);
+
+    const ox::Context ctx;
+    ox::Accel refitted = ctx.build_accel(cubes(before, 2.0f * radius));
+    refitted.refit(cubes(after, 2.0f * radius));
+    const ox::Accel fresh = ctx.build_accel(cubes(after, 2.0f * radius));
+    ASSERT_GT(refitted.refit_seconds(), 0.0);
+
+    const auto label = rtnn::testing::to_string(kind);
+    EXPECT_EQ(collect_hits(refitted, queries, /*use_wide=*/false),
+              collect_hits(fresh, queries, /*use_wide=*/false))
+        << label << "/binary";
+    EXPECT_EQ(collect_hits(refitted, queries, /*use_wide=*/true),
+              collect_hits(fresh, queries, /*use_wide=*/true))
+        << label << "/wide";
+    // The two representations of the refitted accel agree with each other.
+    EXPECT_EQ(collect_hits(refitted, queries, false), collect_hits(refitted, queries, true))
+        << label << "/refit binary-vs-wide";
+  }
+}
+
+TEST(AccelRefit, SharedDataCopiesOnWrite) {
+  const std::vector<Vec3> points = rtnn::testing::make_cloud(CloudKind::kUniform, 1500, 6);
+  const ox::Context ctx;
+  ox::Accel a = ctx.build_accel(cubes(points, 0.1f));
+  const ox::Accel snapshot = a;  // another handle on the same build product
+
+  const std::vector<Vec3> moved = jitter_cloud(points, 0.05f, 41);
+  a.refit(cubes(moved, 0.1f));
+  // The snapshot still answers for the original cloud.
+  EXPECT_EQ(snapshot.bvh().prim_aabbs()[3], Aabb::cube(points[3], 0.1f));
+  EXPECT_EQ(a.bvh().prim_aabbs()[3], Aabb::cube(moved[3], 0.1f));
+}
+
+TEST(AccelRefit, UnbuiltAccelThrows) {
+  ox::Accel accel;
+  EXPECT_THROW(accel.refit({}), Error);
+}
+
+// --- refit-vs-rebuild policy -------------------------------------------------
+
+TEST(IndexPolicy, RefitsWhileCheapAndHealthy) {
+  CostModel model;  // defaults: k_refit << k1, inflation threshold > 1
+  EXPECT_EQ(choose_index_update(model, 1.0), IndexUpdate::kRefit);
+  EXPECT_EQ(choose_index_update(model, model.max_sah_inflation * 0.99),
+            IndexUpdate::kRefit);
+}
+
+TEST(IndexPolicy, RebuildsOnQualityOrCostGrounds) {
+  CostModel model;
+  EXPECT_EQ(choose_index_update(model, model.max_sah_inflation * 1.01),
+            IndexUpdate::kRebuild);
+  // A substrate where refit is no cheaper than building must never refit.
+  CostModel slow_refit;
+  slow_refit.k_refit = slow_refit.k1;
+  EXPECT_EQ(choose_index_update(slow_refit, 1.0), IndexUpdate::kRebuild);
+}
+
+// --- NeighborSearch index persistence ---------------------------------------
+
+TEST(NeighborSearchDynamic, RefitFrameMatchesFreshSearchExactly) {
+  for (const SearchMode mode : {SearchMode::kRange, SearchMode::kKnn}) {
+    const std::vector<Vec3> before =
+        rtnn::testing::make_cloud(CloudKind::kUniform, 4000, 19);
+    const std::vector<Vec3> after = jitter_cloud(before, 0.002f, 37);
+    const std::vector<Vec3> queries = data::jittered_queries(after, 600, 0.02f, 43);
+
+    SearchParams params;
+    params.mode = mode;
+    params.radius = 0.06f;
+    params.k = mode == SearchMode::kRange ? 4096 : 16;  // range: never truncate
+    params.opts = OptimizationFlags::none();  // the persistent-index configuration
+
+    NeighborSearch dynamic;
+    dynamic.set_index_persistence(true);
+    dynamic.set_points(before);
+    (void)dynamic.search(queries, params);  // frame 0: builds the cached accel
+    dynamic.update_points(after);
+    NeighborSearch::Report report;
+    const NeighborResult refitted = dynamic.search(queries, params, &report);
+
+    EXPECT_EQ(report.accel_refits, 1u);
+    EXPECT_EQ(report.accel_rebuilds, 0u);
+    EXPECT_GT(report.time.refit, 0.0);
+    EXPECT_EQ(report.time.bvh, 0.0) << "refit frame must not pay a build";
+
+    const NeighborResult fresh = rtnn::search(after, queries, params);
+    const char* label = mode == SearchMode::kRange ? "refit/range" : "refit/knn";
+    if (mode == SearchMode::kRange) {
+      rtnn::testing::expect_same_neighbor_sets(refitted, fresh, label);
+    } else {
+      rtnn::testing::expect_knn_identical(after, queries, refitted, fresh, label);
+    }
+  }
+}
+
+TEST(NeighborSearchDynamic, UpdateBeforeSetOrCountChangeThrows) {
+  NeighborSearch search;
+  const std::vector<Vec3> points = rtnn::testing::make_cloud(CloudKind::kUniform, 500, 3);
+  EXPECT_THROW(search.update_points(points), Error);
+  search.set_points(points);
+  const std::span<const Vec3> fewer(points.data(), 400);
+  EXPECT_THROW(search.update_points(fewer), Error);
+}
+
+TEST(NeighborSearchDynamic, StaticSemanticsUnchangedWithoutPersistence) {
+  // Without opting in, repeated searches still build per call: the
+  // historical timing semantics every static bench depends on.
+  const std::vector<Vec3> points = rtnn::testing::make_cloud(CloudKind::kUniform, 2000, 8);
+  SearchParams params;
+  params.mode = SearchMode::kKnn;
+  params.radius = 0.08f;
+  params.k = 8;
+  params.opts = OptimizationFlags::none();
+
+  NeighborSearch search;
+  search.set_points(points);
+  NeighborSearch::Report first, second;
+  (void)search.search(points, params, &first);
+  (void)search.search(points, params, &second);
+  EXPECT_GT(first.time.bvh, 0.0);
+  EXPECT_GT(second.time.bvh, 0.0) << "static path must rebuild per call";
+  EXPECT_EQ(second.time.refit, 0.0);
+}
+
+// --- DynamicSearchSession ----------------------------------------------------
+
+TEST(DynamicSearchSession, StreamsRefittedFramesWithParity) {
+  const std::size_t n = 3000;
+  SearchParams params;
+  params.mode = SearchMode::kKnn;
+  params.radius = 0.08f;
+  params.k = 8;
+  params.opts = OptimizationFlags::none();
+
+  data::DriftParams drift;
+  drift.velocity = 0.002f;
+  DynamicSearchSession session(params);
+  data::DriftMotion motion(rtnn::testing::make_cloud(CloudKind::kUniform, n, 21), drift);
+
+  for (int frame = 0; frame < 4; ++frame) {
+    const data::PointCloud& cloud = frame == 0 ? motion.points() : motion.step();
+    NeighborSearch::Report report;
+    const NeighborResult result = session.step(cloud, &report);
+    ASSERT_EQ(result.num_queries(), n);
+
+    if (frame == 0) {
+      EXPECT_GT(report.time.bvh, 0.0) << "first frame builds";
+      EXPECT_EQ(report.accel_refits, 0u);
+    } else {
+      EXPECT_EQ(report.accel_refits, 1u) << "frame " << frame;
+      EXPECT_GT(report.time.refit, 0.0) << "frame " << frame;
+      EXPECT_EQ(report.time.bvh, 0.0) << "frame " << frame;
+      EXPECT_GE(report.sah_inflation, 1.0 - 1e-6);
+    }
+    // Every frame must agree with a from-scratch search of that frame.
+    const NeighborResult fresh = rtnn::search(cloud, cloud, params);
+    rtnn::testing::expect_knn_identical(cloud, cloud, result, fresh,
+                                        "session frame " + std::to_string(frame));
+  }
+  EXPECT_EQ(session.frame(), 4u);
+}
+
+TEST(DynamicSearchSession, PolicyRebuildsAfterQualityCollapse) {
+  SearchParams params;
+  params.mode = SearchMode::kKnn;
+  params.radius = 0.06f;
+  params.k = 8;
+  params.opts = OptimizationFlags::none();
+
+  CostModel model;
+  model.max_sah_inflation = 1.2;  // tight quality guard
+  DynamicSearchSession session(params, model);
+
+  std::vector<Vec3> cloud = rtnn::testing::make_cloud(CloudKind::kUniform, 4000, 33);
+  (void)session.step(cloud);  // build
+  // A correspondence-destroying frame: refit happens (decision precedes
+  // the damage being observable) but inflation is then measured high.
+  data::shuffle(cloud, 55);
+  NeighborSearch::Report scrambled;
+  (void)session.step(cloud, &scrambled);
+  EXPECT_EQ(scrambled.accel_refits, 1u);
+  EXPECT_GT(scrambled.sah_inflation, model.max_sah_inflation);
+  // The next frame sees the degraded index and rebuilds.
+  cloud = jitter_cloud(cloud, 0.001f, 77);
+  NeighborSearch::Report recovered;
+  (void)session.step(cloud, &recovered);
+  EXPECT_EQ(recovered.accel_rebuilds, 1u);
+  EXPECT_EQ(recovered.accel_refits, 0u);
+  EXPECT_LT(recovered.sah_inflation, 1.1);
+}
+
+TEST(DynamicSearchSession, CountChangeFallsBackToRebuild) {
+  SearchParams params;
+  params.mode = SearchMode::kKnn;
+  params.radius = 0.08f;
+  params.k = 4;
+  params.opts = OptimizationFlags::none();
+  DynamicSearchSession session(params);
+
+  std::vector<Vec3> cloud = rtnn::testing::make_cloud(CloudKind::kUniform, 1000, 3);
+  (void)session.step(cloud);
+  cloud.resize(900);  // a resize is a topology change: rebuild, don't throw
+  NeighborSearch::Report report;
+  const NeighborResult result = session.step(cloud, &report);
+  EXPECT_EQ(result.num_queries(), 900u);
+  EXPECT_EQ(report.accel_refits, 0u);
+  EXPECT_GT(report.time.bvh, 0.0);
+}
+
+TEST(DynamicSearchSession, SeparateQuerySetSupported) {
+  SearchParams params;
+  params.mode = SearchMode::kRange;
+  params.radius = 0.08f;
+  params.k = 64;
+  params.opts = OptimizationFlags::none();
+  DynamicSearchSession session(params);
+
+  const std::vector<Vec3> cloud = rtnn::testing::make_cloud(CloudKind::kUniform, 2000, 51);
+  const std::vector<Vec3> queries = data::jittered_queries(cloud, 250, 0.02f, 52);
+  const NeighborResult result = session.step(cloud, queries);
+  ASSERT_EQ(result.num_queries(), queries.size());
+  rtnn::testing::expect_all_within_radius(cloud, queries, result, params.radius,
+                                          "session/queries");
+}
+
+// --- datasets motion models --------------------------------------------------
+
+TEST(MotionModels, DriftKeepsCountAndStaysNearBounds) {
+  data::DriftParams params;
+  params.velocity = 0.01f;
+  data::DriftMotion motion(rtnn::testing::make_cloud(CloudKind::kUniform, 2000, 61),
+                           params);
+  const data::PointCloud frame0 = motion.points();
+  const Aabb box = data::bounds(frame0);
+  for (int i = 0; i < 10; ++i) motion.step();
+  const data::PointCloud& frame10 = motion.points();
+  ASSERT_EQ(frame10.size(), frame0.size());
+  EXPECT_NE(frame10[0], frame0[0]) << "points must actually move";
+  const Aabb roam = box.expanded(0.1f);
+  for (const Vec3& p : frame10) {
+    EXPECT_TRUE(roam.contains(p)) << "drift must bounce, not disperse";
+  }
+}
+
+TEST(MotionModels, DriftIsDeterministic) {
+  const data::PointCloud cloud = rtnn::testing::make_cloud(CloudKind::kUniform, 500, 71);
+  data::DriftParams params;
+  data::DriftMotion a(cloud, params);
+  data::DriftMotion b(cloud, params);
+  a.step();
+  b.step();
+  EXPECT_EQ(a.points(), b.points());
+}
+
+TEST(MotionModels, LidarSweepFramesShareSizeAndSceneButMove) {
+  data::LidarParams base;
+  base.target_points = 20'000;
+  base.seed = 5;
+  const data::LidarSweep sweep(base, /*frame_advance=*/1.5f);
+  const data::PointCloud f0 = sweep.frame(0);
+  const data::PointCloud f2 = sweep.frame(2);
+  ASSERT_EQ(f0.size(), base.target_points);
+  ASSERT_EQ(f2.size(), base.target_points);
+  EXPECT_NE(f0[100], f2[100]);
+  // The scanner advanced +x: the later frame's cloud centroid follows.
+  auto mean_x = [](const data::PointCloud& c) {
+    double x = 0.0;
+    for (const Vec3& p : c) x += p.x;
+    return x / static_cast<double>(c.size());
+  };
+  EXPECT_GT(mean_x(f2), mean_x(f0));
+}
+
+}  // namespace
+}  // namespace rtnn

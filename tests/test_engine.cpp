@@ -15,6 +15,7 @@ namespace rtnn::engine {
 namespace {
 
 using rtnn::testing::CloudKind;
+using rtnn::testing::expect_knn_identical;
 
 constexpr const char* kBuiltins[] = {"auto",    "brute_force", "fastrnn",
                                      "grid",    "octree",      "rtnn"};
@@ -35,6 +36,15 @@ TEST(BackendRegistry, ConstructsEveryBuiltin) {
 
 TEST(BackendRegistry, UnknownNameThrows) {
   EXPECT_THROW(make_backend("no-such-backend"), Error);
+  try {
+    make_backend("no-such-backend");
+    FAIL() << "expected rtnn::Error";
+  } catch (const Error& e) {
+    // The message must name the offender so CLI users can act on it.
+    EXPECT_NE(std::string(e.what()).find("no-such-backend"), std::string::npos);
+  }
+  // A failed lookup must not have registered anything as a side effect.
+  EXPECT_FALSE(BackendRegistry::instance().contains("no-such-backend"));
 }
 
 TEST(BackendRegistry, CustomFactoriesRegister) {
@@ -45,26 +55,98 @@ TEST(BackendRegistry, CustomFactoriesRegister) {
   EXPECT_TRUE(registry.contains("custom_brute"));
 }
 
-/// KNN sequences sorted by (distance, id) must match id-for-id: every
-/// in-repo implementation breaks distance ties by ascending point id.
-void expect_knn_identical(std::span<const Vec3> points, std::span<const Vec3> queries,
-                          const NeighborResult& got, const NeighborResult& expected,
-                          const std::string& label) {
-  ASSERT_EQ(got.num_queries(), expected.num_queries()) << label;
-  for (std::size_t q = 0; q < got.num_queries(); ++q) {
-    ASSERT_EQ(got.count(q), expected.count(q)) << label << " query " << q;
-    auto by_dist_then_id = [&](std::span<const std::uint32_t> ids) {
-      std::vector<std::uint32_t> sorted(ids.begin(), ids.end());
-      std::sort(sorted.begin(), sorted.end(), [&](std::uint32_t a, std::uint32_t b) {
-        const float da = distance2(points[a], queries[q]);
-        const float db = distance2(points[b], queries[q]);
-        return da < db || (da == db && a < b);
-      });
-      return sorted;
-    };
-    ASSERT_EQ(by_dist_then_id(got.neighbors(q)), by_dist_then_id(expected.neighbors(q)))
-        << label << " query " << q;
+TEST(BackendRegistry, DuplicateRegistrationReplacesFactory) {
+  auto& registry = BackendRegistry::instance();
+  registry.add("dup_backend", [] { return std::make_unique<BruteForceBackend>(); });
+  ASSERT_EQ(registry.create("dup_backend")->name(), "brute_force");
+  // Re-registering the same name replaces the factory (documented shadowing
+  // behavior) instead of throwing or appending a second entry.
+  registry.add("dup_backend", [] { return std::make_unique<OctreeBackend>(); });
+  EXPECT_EQ(registry.create("dup_backend")->name(), "octree");
+  const std::vector<std::string> names = registry.names();
+  EXPECT_EQ(std::count(names.begin(), names.end(), "dup_backend"), 1);
+}
+
+TEST(BackendCapsGating, UnsupportedModeThrows) {
+  const std::vector<Vec3> points = rtnn::testing::make_cloud(CloudKind::kUniform, 200, 1);
+  SearchParams params;
+  params.radius = 0.1f;
+  params.k = 4;
+
+  // FastRNN is KNN-only: a range request must fail the caps() gate up
+  // front, not produce garbage.
+  FastRnnBackend fastrnn;
+  fastrnn.set_points(points);
+  EXPECT_FALSE(fastrnn.caps().range);
+  params.mode = SearchMode::kRange;
+  EXPECT_THROW(fastrnn.search(points, params, nullptr), Error);
+  params.mode = SearchMode::kKnn;
+  EXPECT_NO_THROW(fastrnn.search(points, params, nullptr));
+}
+
+TEST(BackendCapsGating, ApproximateKnobsRejectedByExactBackends) {
+  const std::vector<Vec3> points = rtnn::testing::make_cloud(CloudKind::kUniform, 200, 2);
+  SearchParams params;
+  params.mode = SearchMode::kRange;
+  params.radius = 0.1f;
+  params.k = 4;
+  params.aabb_scale = 0.5f;  // approximate knob
+
+  for (const char* name : {"brute_force", "grid", "octree"}) {
+    const auto backend = make_backend(name);
+    ASSERT_FALSE(backend->caps().approximate) << name;
+    backend->set_points(points);
+    EXPECT_THROW(backend->search(points, params, nullptr), Error) << name;
   }
+  // rtnn honors the knob and must keep accepting it.
+  const auto rtnn_backend = make_backend("rtnn");
+  ASSERT_TRUE(rtnn_backend->caps().approximate);
+  rtnn_backend->set_points(points);
+  EXPECT_NO_THROW(rtnn_backend->search(points, params, nullptr));
+}
+
+TEST(BackendLifecycle, UpdatePointsFallbackMatchesRebuild) {
+  // Backends without a refit path must answer update_points() through the
+  // set_points() fallback — callers never branch on caps().dynamic.
+  const std::vector<Vec3> before = rtnn::testing::make_cloud(CloudKind::kUniform, 1200, 31);
+  std::vector<Vec3> after = before;
+  Pcg32 rng(77);
+  for (Vec3& p : after) {
+    p += Vec3{rng.uniform(-0.01f, 0.01f), rng.uniform(-0.01f, 0.01f),
+              rng.uniform(-0.01f, 0.01f)};
+  }
+  const std::span<const Vec3> queries(after.data(), 300);
+
+  SearchParams params;
+  params.mode = SearchMode::kKnn;
+  params.radius = 0.08f;
+  params.k = 8;
+
+  BruteForceBackend reference;
+  reference.set_points(after);
+  const NeighborResult expected = reference.search(queries, params, nullptr);
+
+  for (const char* name : kBuiltins) {
+    if (std::string_view(name) == "brute_force") continue;
+    const auto backend = make_backend(name);
+    backend->set_points(before);
+    (void)backend->search(queries, params, nullptr);  // build against the old frame
+    backend->update_points(after);
+    const NeighborResult got = backend->search(queries, params, nullptr);
+    expect_knn_identical(after, queries, got, expected,
+                         std::string(name) + "/update_points");
+  }
+}
+
+TEST(BackendLifecycle, DynamicCapsDeclared) {
+  // The refit-capable stacks advertise it; index-free or rebuild-only
+  // backends must not.
+  EXPECT_TRUE(make_backend("rtnn")->caps().dynamic);
+  EXPECT_TRUE(make_backend("fastrnn")->caps().dynamic);
+  EXPECT_TRUE(make_backend("auto")->caps().dynamic);
+  EXPECT_FALSE(make_backend("brute_force")->caps().dynamic);
+  EXPECT_FALSE(make_backend("grid")->caps().dynamic);
+  EXPECT_FALSE(make_backend("octree")->caps().dynamic);
 }
 
 class BackendParity : public ::testing::TestWithParam<CloudKind> {};

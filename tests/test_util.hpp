@@ -95,6 +95,28 @@ inline void expect_same_neighbor_sets(const NeighborResult& got,
   }
 }
 
+/// KNN sequences sorted by (distance, id) must match id-for-id: every
+/// in-repo implementation breaks distance ties by ascending point id.
+inline void expect_knn_identical(std::span<const Vec3> points, std::span<const Vec3> queries,
+                                 const NeighborResult& got, const NeighborResult& expected,
+                                 const std::string& label) {
+  ASSERT_EQ(got.num_queries(), expected.num_queries()) << label;
+  for (std::size_t q = 0; q < got.num_queries(); ++q) {
+    ASSERT_EQ(got.count(q), expected.count(q)) << label << " query " << q;
+    auto by_dist_then_id = [&](std::span<const std::uint32_t> ids) {
+      std::vector<std::uint32_t> sorted(ids.begin(), ids.end());
+      std::sort(sorted.begin(), sorted.end(), [&](std::uint32_t a, std::uint32_t b) {
+        const float da = distance2(points[a], queries[q]);
+        const float db = distance2(points[b], queries[q]);
+        return da < db || (da == db && a < b);
+      });
+      return sorted;
+    };
+    ASSERT_EQ(by_dist_then_id(got.neighbors(q)), by_dist_then_id(expected.neighbors(q)))
+        << label << " query " << q;
+  }
+}
+
 /// KNN comparison tolerant to ties: the sorted per-rank *distances* must
 /// match (two valid implementations may pick different equidistant points).
 inline void expect_knn_distances_match(std::span<const Vec3> points,

@@ -90,7 +90,8 @@ def main():
     current = load_report(args.current)
 
     # Absolute-time comparison only means something when the measurement
-    # conditions agree; warn loudly when they don't.
+    # conditions agree; warn loudly when they don't, before any median is
+    # compared, so a gate failure (or pass) is read in context.
     for key in ("threads", "build_type", "compiler"):
         base_v = baseline.get("environment", {}).get(key)
         cur_v = current.get("environment", {}).get(key)
@@ -99,6 +100,15 @@ def main():
                 f"WARNING: environment mismatch on {key!r}: "
                 f"baseline={base_v!r} current={cur_v!r} — deltas include a "
                 "machine/configuration component"
+            )
+    for key in ("scale", "repeats", "warmup"):
+        base_v = baseline.get("options", {}).get(key)
+        cur_v = current.get("options", {}).get(key)
+        if base_v != cur_v:
+            print(
+                f"WARNING: measurement options mismatch on {key!r}: "
+                f"baseline={base_v!r} current={cur_v!r} — medians are not "
+                "directly comparable"
             )
 
     broken = failed_cases(current)
