@@ -16,6 +16,7 @@
 
 #include "bench/bench.hpp"
 #include "bench_util.hpp"
+#include "core/parallel.hpp"
 
 namespace {
 
@@ -30,6 +31,8 @@ void print_usage() {
       "  --scale S          dataset scale vs the paper (default: RTNN_BENCH_SCALE\n"
       "                     or 0.02)\n"
       "  --seed N           dataset RNG seed offset (default 0 = canonical sets)\n"
+      "  --threads N        worker/client thread count (default: RTNN_THREADS or\n"
+      "                     the OpenMP default) — the serving.* client sweep knob\n"
       "  --json [PATH]      write the JSON report; PATH defaults to BENCH_<tag>.json\n"
       "  --tag TAG          report tag (default: git sha, else \"local\")\n"
       "  --quiet            suppress per-case headers and tables' footers\n"
@@ -93,6 +96,13 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "rtnn_bench: --seed must be a non-negative integer\n");
         return 2;
       }
+    } else if (arg == "--threads") {
+      const int n = std::atoi(next_value(argc, argv, i, "--threads"));
+      if (n < 1) {
+        std::fprintf(stderr, "rtnn_bench: --threads must be >= 1\n");
+        return 2;
+      }
+      rtnn::set_num_threads(n);
     } else if (arg == "--json") {
       want_json = true;
       if (i + 1 < argc && !is_flag(argv[i + 1])) json_path = argv[++i];
@@ -106,6 +116,10 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
+
+  // Resolved after --threads / RTNN_THREADS: reports record the worker
+  // count they were measured at (bench_compare warns on mismatch).
+  options.threads = rtnn::num_threads();
 
   BenchRegistry& registry = BenchRegistry::instance();
   std::vector<const CaseInfo*> cases;

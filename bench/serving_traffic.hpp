@@ -1,0 +1,58 @@
+// Shared request-traffic shape for the serving bench and demo: mixed
+// request sizes over deterministic windows of the cloud, plus the
+// latency-percentile helper. One definition so the bench
+// (bench/serving.cpp) and the example (examples/serving_demo.cpp) cannot
+// drift apart. Header-only and dependency-free on the bench runner, so
+// the example builds with RTNN_BUILD_BENCHES=OFF.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/vec3.hpp"
+
+namespace rtnn::bench_traffic {
+
+/// Mixed request sizes, the serving-traffic shape.
+inline constexpr std::size_t kRequestSizes[] = {16, 64, 256};
+inline constexpr std::size_t kMaxRequestSize = 256;
+
+inline std::size_t request_size(int client, int request) {
+  return kRequestSizes[static_cast<std::size_t>(client + request) % 3];
+}
+
+/// Request r of client c: a deterministic contiguous window of the
+/// cloud. Safe for any cloud size: the window is clamped to the cloud
+/// and its start wraps within the valid range.
+inline std::span<const Vec3> request_queries(std::span<const Vec3> cloud, int client,
+                                             int request) {
+  const std::size_t size = std::min(request_size(client, request), cloud.size());
+  const std::size_t range = cloud.size() - size + 1;  // valid window starts
+  const std::size_t first =
+      (static_cast<std::size_t>(client) * 7919 + static_cast<std::size_t>(request) * 499) %
+      range;
+  return cloud.subspan(first, size);
+}
+
+inline std::size_t total_request_queries(std::span<const Vec3> cloud, int clients,
+                                         int requests_per_client) {
+  std::size_t total = 0;
+  for (int c = 0; c < clients; ++c) {
+    for (int r = 0; r < requests_per_client; ++r) {
+      total += std::min(request_size(c, r), cloud.size());
+    }
+  }
+  return total;
+}
+
+/// Nearest-rank percentile over an ascending-sorted sample vector.
+inline double percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const auto rank =
+      static_cast<std::size_t>(p * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(rank, sorted.size() - 1)];
+}
+
+}  // namespace rtnn::bench_traffic

@@ -131,7 +131,8 @@ std::string report_json(const SuiteResult& suite, const Environment& env,
   os << "    \"repeats\": " << suite.options.repeats << ",\n";
   os << "    \"warmup\": " << suite.options.warmup << ",\n";
   os << "    \"scale\": " << json_number(suite.options.scale) << ",\n";
-  os << "    \"seed\": " << suite.options.seed << "\n";
+  os << "    \"seed\": " << suite.options.seed << ",\n";
+  os << "    \"threads\": " << suite.options.threads << "\n";
   os << "  },\n";
   os << "  \"cases\": [\n";
   for (std::size_t c = 0; c < suite.results.size(); ++c) {

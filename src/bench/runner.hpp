@@ -23,6 +23,8 @@ struct RunnerOptions {
   int warmup = 1;   // discarded invocations per timing
   double scale = 0.02;       // dataset scale relative to the paper
   std::uint64_t seed = 0;    // dataset RNG seed offset (0 = canonical sets)
+  int threads = 0;           // resolved worker count (0 = not recorded); the
+                             // CLI fills it so reports carry the sweep point
   bool verbose = true;       // print per-case headers and footers
   std::string filter;        // recorded in the report for provenance
 };

@@ -98,4 +98,27 @@ std::uint64_t exclusive_scan(std::vector<std::uint64_t>& v) {
   return sum;
 }
 
+void CompletionEvent::signal() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    done_ = true;
+  }
+  cv_.notify_all();
+}
+
+void CompletionEvent::wait() const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [&] { return done_; });
+}
+
+bool CompletionEvent::wait_for(std::chrono::nanoseconds timeout) const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  return cv_.wait_for(lock, timeout, [&] { return done_; });
+}
+
+bool CompletionEvent::signaled() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return done_;
+}
+
 }  // namespace rtnn

@@ -10,8 +10,14 @@
 // RTNN_THREADS environment variable, then OpenMP's default.
 #pragma once
 
+#include <chrono>
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
 #include <type_traits>
+#include <utility>
 #include <vector>
 
 namespace rtnn {
@@ -132,5 +138,100 @@ T parallel_reduce(std::int64_t begin, std::int64_t end, T init, Map&& map, Op&& 
 /// relative to the point data, and a serial scan keeps it deterministic.)
 std::uint64_t exclusive_scan(std::vector<std::uint32_t>& v);
 std::uint64_t exclusive_scan(std::vector<std::uint64_t>& v);
+
+/// One-shot completion latch: wait() blocks until some other thread calls
+/// signal(). This is the synchronization primitive behind service tickets
+/// (src/service): the submitting thread parks on the event while the
+/// dispatcher serves the coalesced batch. signal() may be called at most
+/// once; waiting after the signal returns immediately forever.
+class CompletionEvent {
+ public:
+  void signal();
+  void wait() const;
+  /// True when the event fired within `timeout`; false on timeout.
+  bool wait_for(std::chrono::nanoseconds timeout) const;
+  bool signaled() const;
+
+ private:
+  mutable std::mutex mutex_;
+  mutable std::condition_variable cv_;
+  bool done_ = false;
+};
+
+/// Unbounded multi-producer/multi-consumer FIFO with close semantics —
+/// the hand-off between request submitters and the service's dispatcher.
+/// push() enqueues (refused once closed); pop() blocks for the next item;
+/// close() wakes every blocked consumer, after which pops drain the
+/// remaining items and then return nullopt. All operations are
+/// linearizable under the internal mutex: items pop in push order.
+template <typename T>
+class WorkQueue {
+ public:
+  /// Enqueues `item`; returns false (dropping the item) once closed.
+  bool push(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_) return false;
+      items_.push_back(std::move(item));
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  /// Blocks for the next item; nullopt once closed and drained.
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [&] { return !items_.empty() || closed_; });
+    return take_locked();
+  }
+
+  /// Like pop(), but gives up after `timeout` (nullopt on timeout too —
+  /// check closed() to distinguish when it matters).
+  std::optional<T> pop_for(std::chrono::nanoseconds timeout) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait_for(lock, timeout, [&] { return !items_.empty() || closed_; });
+    return take_locked();
+  }
+
+  /// Non-blocking pop.
+  std::optional<T> try_pop() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return take_locked();
+  }
+
+  /// Refuses further pushes and wakes every blocked consumer. Items
+  /// already queued remain poppable (a closing service drains in-flight
+  /// requests instead of dropping them).
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
+ private:
+  std::optional<T> take_locked() {
+    if (items_.empty()) return std::nullopt;
+    std::optional<T> item(std::move(items_.front()));
+    items_.pop_front();
+    return item;
+  }
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
 
 }  // namespace rtnn

@@ -52,6 +52,32 @@ void AutoBackend::set_cost_model(const CostModel& model) {
   }
 }
 
+std::unique_ptr<SearchBackend> AutoBackend::snapshot() const {
+  auto copy = std::make_unique<AutoBackend>();
+  copy->points_ = points_;
+  copy->model_ = model_;
+  copy->stats_grid_ = stats_grid_;
+  copy->stats_grid_valid_ = stats_grid_valid_;
+  copy->generation_ = generation_;
+  copy->lineage_ = lineage_;
+  copy->persistent_ = persistent_;
+  copy->last_choice_ = last_choice_;
+  for (const auto& [name, slot] : backends_) {
+    Slot cloned;
+    cloned.backend = slot.backend->snapshot();
+    RTNN_CHECK(cloned.backend != nullptr, "auto candidate cannot snapshot");
+    cloned.points_generation = slot.points_generation;
+    cloned.upload_lineage = slot.upload_lineage;
+    copy->backends_.emplace_back(name, std::move(cloned));
+  }
+  return copy;
+}
+
+void AutoBackend::set_index_persistence(bool on) {
+  persistent_ = on;
+  for (auto& [name, slot] : backends_) slot.backend->set_index_persistence(on);
+}
+
 SearchBackend& AutoBackend::acquire(std::string_view name) {
   for (auto& [existing, slot] : backends_) {
     if (existing == name) {
@@ -75,6 +101,7 @@ SearchBackend& AutoBackend::acquire(std::string_view name) {
   if (name == "rtnn") {
     static_cast<RtnnBackend*>(slot.backend.get())->set_cost_model(model_);
   }
+  slot.backend->set_index_persistence(persistent_);
   slot.backend->set_points(points_);
   slot.points_generation = generation_;
   slot.upload_lineage = lineage_;

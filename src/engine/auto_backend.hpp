@@ -44,7 +44,7 @@ class AutoBackend final : public SearchBackend {
 
   std::string_view name() const override { return "auto"; }
   BackendCaps caps() const override {
-    return {.range = true, .knn = true, .dynamic = true};
+    return {.range = true, .knn = true, .dynamic = true, .snapshot = true};
   }
   void set_points(std::span<const Vec3> points) override;
   /// Dynamic lifecycle, forwarded: candidates that were already
@@ -54,6 +54,12 @@ class AutoBackend final : public SearchBackend {
   std::size_t point_count() const override { return points_.size(); }
   NeighborResult search(std::span<const Vec3> queries, const SearchParams& params,
                         Report* report = nullptr) override;
+
+  /// Member-wise snapshot: points, model and grid copy; every
+  /// materialized candidate is snapshotted in turn (so the clone keeps
+  /// amortizing whatever indexes dispatch already paid for).
+  std::unique_ptr<SearchBackend> snapshot() const override;
+  void set_index_persistence(bool on) override;
 
   /// Supplies a calibrated cost model (k1/k2/k3 ratios) for dispatch and
   /// for the rtnn candidate's bundling decisions.
@@ -85,6 +91,7 @@ class AutoBackend final : public SearchBackend {
   std::vector<std::pair<std::string, Slot>> backends_;
   std::uint64_t generation_ = 0;  // bumped by every points change
   std::uint64_t lineage_ = 0;     // bumped only by set_points (count resets)
+  bool persistent_ = false;       // serving hint, applied to every candidate
   std::string last_choice_;
 };
 

@@ -3,6 +3,7 @@
 // octree (PCL analog), FastRNN (naive RT mapping), and full RTNN.
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "baselines/brute_force.hpp"
@@ -17,11 +18,16 @@ namespace rtnn::engine {
 class BruteForceBackend final : public SearchBackend {
  public:
   std::string_view name() const override { return "brute_force"; }
-  BackendCaps caps() const override { return {.range = true, .knn = true}; }
+  BackendCaps caps() const override {
+    return {.range = true, .knn = true, .snapshot = true};
+  }
   void set_points(std::span<const Vec3> points) override;
   std::size_t point_count() const override { return points_.size(); }
   NeighborResult search(std::span<const Vec3> queries, const SearchParams& params,
                         Report* report) override;
+  std::unique_ptr<SearchBackend> snapshot() const override {
+    return std::make_unique<BruteForceBackend>(*this);
+  }
 
  private:
   std::vector<Vec3> points_;
@@ -34,11 +40,16 @@ class BruteForceBackend final : public SearchBackend {
 class GridBackend final : public SearchBackend {
  public:
   std::string_view name() const override { return "grid"; }
-  BackendCaps caps() const override { return {.range = true, .knn = true}; }
+  BackendCaps caps() const override {
+    return {.range = true, .knn = true, .snapshot = true};
+  }
   void set_points(std::span<const Vec3> points) override;
   std::size_t point_count() const override { return points_.size(); }
   NeighborResult search(std::span<const Vec3> queries, const SearchParams& params,
                         Report* report) override;
+  std::unique_ptr<SearchBackend> snapshot() const override {
+    return std::make_unique<GridBackend>(*this);
+  }
 
  private:
   std::vector<Vec3> points_;
@@ -52,11 +63,16 @@ class GridBackend final : public SearchBackend {
 class OctreeBackend final : public SearchBackend {
  public:
   std::string_view name() const override { return "octree"; }
-  BackendCaps caps() const override { return {.range = true, .knn = true}; }
+  BackendCaps caps() const override {
+    return {.range = true, .knn = true, .snapshot = true};
+  }
   void set_points(std::span<const Vec3> points) override;
   std::size_t point_count() const override { return points_.size(); }
   NeighborResult search(std::span<const Vec3> queries, const SearchParams& params,
                         Report* report) override;
+  std::unique_ptr<SearchBackend> snapshot() const override {
+    return std::make_unique<OctreeBackend>(*this);
+  }
 
  private:
   std::vector<Vec3> points_;
@@ -71,7 +87,7 @@ class FastRnnBackend final : public SearchBackend {
  public:
   std::string_view name() const override { return "fastrnn"; }
   BackendCaps caps() const override {
-    return {.knn = true, .launch_stats = true, .dynamic = true};
+    return {.knn = true, .launch_stats = true, .dynamic = true, .snapshot = true};
   }
   void set_points(std::span<const Vec3> points) override { search_.set_points(points); }
   /// Even the naive mapping refits: the reference rtnn code assumes the
@@ -82,6 +98,10 @@ class FastRnnBackend final : public SearchBackend {
   std::size_t point_count() const override { return search_.point_count(); }
   NeighborResult search(std::span<const Vec3> queries, const SearchParams& params,
                         Report* report) override;
+  std::unique_ptr<SearchBackend> snapshot() const override {
+    return std::make_unique<FastRnnBackend>(*this);
+  }
+  void set_index_persistence(bool on) override { search_.set_index_persistence(on); }
 
  private:
   NeighborSearch search_;
@@ -94,7 +114,7 @@ class RtnnBackend final : public SearchBackend {
   std::string_view name() const override { return "rtnn"; }
   BackendCaps caps() const override {
     return {.range = true, .knn = true, .approximate = true, .launch_stats = true,
-            .dynamic = true};
+            .dynamic = true, .snapshot = true};
   }
   void set_points(std::span<const Vec3> points) override { search_.set_points(points); }
   /// Dynamic lifecycle: keeps the base-width accel across frames and lets
@@ -107,6 +127,13 @@ class RtnnBackend final : public SearchBackend {
                         Report* report) override {
     return search_.search(queries, params, report);
   }
+  /// The snapshot is cheap: the accel's build product is shared
+  /// copy-on-write (refitting either side replaces, never mutates, the
+  /// shared data), so a publish costs the point/grid copies only.
+  std::unique_ptr<SearchBackend> snapshot() const override {
+    return std::make_unique<RtnnBackend>(*this);
+  }
+  void set_index_persistence(bool on) override { search_.set_index_persistence(on); }
 
   /// Supplies a calibrated cost model for bundling decisions.
   void set_cost_model(const CostModel& model) { search_.set_cost_model(model); }

@@ -27,6 +27,11 @@
 // See README.md ("The SearchBackend contract" and "The index lifecycle")
 // and rtnn::DynamicSearchSession (rtnn/stages.hpp) for the frame-loop
 // convenience wrapper.
+//
+// For many concurrent callers over one cloud, serve backends through
+// rtnn::service::SearchService (service/service.hpp): it publishes
+// immutable snapshot() clones per update and coalesces in-flight
+// requests into batched launches.
 #pragma once
 
 #include "engine/auto_backend.hpp"

@@ -30,6 +30,7 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <span>
 #include <string_view>
 
@@ -58,6 +59,10 @@ struct BackendCaps {
   /// without this flag still accept update_points() — it just costs a
   /// rebuild.
   bool dynamic = false;
+  /// snapshot() returns an independent copy of the backend — the serving
+  /// layer's publish-on-update primitive (src/service). Backends without
+  /// this flag return nullptr from snapshot() and cannot serve.
+  bool snapshot = false;
 };
 
 class SearchBackend {
@@ -86,6 +91,24 @@ class SearchBackend {
   /// timings (and launch statistics when caps().launch_stats).
   virtual NeighborResult search(std::span<const Vec3> queries, const SearchParams& params,
                                 Report* report = nullptr) = 0;
+
+  /// An independent copy of this backend — the uploaded points plus any
+  /// structures already built — safe to search from another thread while
+  /// the original keeps absorbing updates. This is the serving layer's
+  /// snapshot primitive: SearchService clones its writer-owned master per
+  /// published version, so readers' in-flight batches never share mutable
+  /// state with the update path. Copy-on-write where the substrate
+  /// supports it (ox::Accel build products are shared, never duplicated),
+  /// deep copies elsewhere. Returns nullptr when the backend cannot
+  /// snapshot (caps().snapshot is false).
+  virtual std::unique_ptr<SearchBackend> snapshot() const { return nullptr; }
+
+  /// Serving hint: keep lazily built index structures alive across
+  /// search() calls instead of rebuilding per call, where the backend
+  /// distinguishes the two (NeighborSearch's static path builds per call
+  /// by default to preserve its historical timing profile). No-op for
+  /// backends that always cache.
+  virtual void set_index_persistence(bool on) { (void)on; }
 };
 
 }  // namespace rtnn::engine

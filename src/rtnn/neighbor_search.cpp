@@ -9,6 +9,19 @@
 
 namespace rtnn {
 
+NeighborSearch::Report& NeighborSearch::Report::operator+=(const Report& o) {
+  time += o.time;
+  stats += o.stats;
+  first_hit_stats += o.first_hit_stats;
+  num_partitions += o.num_partitions;
+  num_bundles += o.num_bundles;
+  predicted_bundle_cost += o.predicted_bundle_cost;
+  accel_refits += o.accel_refits;
+  accel_rebuilds += o.accel_rebuilds;
+  sah_inflation = std::max(sah_inflation, o.sah_inflation);
+  return *this;
+}
+
 void NeighborSearch::set_points(std::span<const Vec3> points) {
   points_.assign(points.begin(), points.end());
   grid_valid_ = false;
@@ -88,6 +101,17 @@ NeighborResult NeighborSearch::search(std::span<const Vec3> queries,
                                       const SearchParams& params, Report* report_out) {
   const auto stages = make_pipeline(params.opts);
   return run_stages(queries, params, stages, report_out);
+}
+
+std::vector<NeighborResult> NeighborSearch::search_batched(
+    std::span<const Vec3> queries, std::span<const BatchSlice> slices,
+    const SearchParams& params, Report* report_out) {
+  for (const BatchSlice& slice : slices) {
+    RTNN_CHECK(slice.first + slice.count <= queries.size(),
+               "batch slice exceeds the merged query array");
+  }
+  const NeighborResult batch = search(queries, params, report_out);
+  return split_batch_result(batch, slices);
 }
 
 NeighborResult NeighborSearch::search_with_plan(std::span<const Vec3> queries,

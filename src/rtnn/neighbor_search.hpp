@@ -50,6 +50,16 @@ struct IndexCache {
   bool moved = false;
 };
 
+/// One request's rows within a coalesced batch launch: queries
+/// [first, first + count) of the merged query array belong to this
+/// request. The serving layer (src/service) builds one slice per
+/// in-flight request; split_batch_result() scatters the batch result
+/// back to the slots.
+struct BatchSlice {
+  std::size_t first = 0;
+  std::size_t count = 0;
+};
+
 class NeighborSearch {
  public:
   /// Everything the benches report about one search() call.
@@ -65,6 +75,10 @@ class NeighborSearch {
     std::uint32_t accel_refits = 0;    // base accel refitted this call
     std::uint32_t accel_rebuilds = 0;  // base accel rebuilt by the policy
     double sah_inflation = 1.0;        // base accel quality after this call
+    /// Aggregation across calls/batches (the serving layer's per-service
+    /// totals): every time and counter sums exactly; sah_inflation keeps
+    /// the worst (largest) quality degradation observed.
+    Report& operator+=(const Report& o);
   };
 
   NeighborSearch() = default;
@@ -100,6 +114,19 @@ class NeighborSearch {
   /// stage pipeline from `params.opts`.
   NeighborResult search(std::span<const Vec3> queries, const SearchParams& params,
                         Report* report = nullptr);
+
+  /// Coalesced-batch entry point (the serving layer's tick): `queries` is
+  /// the concatenation of many small requests and `slices` tags each
+  /// request's rows. The whole batch flows through the stage pipeline
+  /// exactly once — one schedule/partition/bundle pass and one LaunchStage
+  /// dispatch amortized across every request — and the batch result is
+  /// scattered back into one NeighborResult per slice. `report`, when
+  /// non-null, receives the batch's aggregate Report (requests share the
+  /// batch cost; there is no per-row attribution).
+  std::vector<NeighborResult> search_batched(std::span<const Vec3> queries,
+                                             std::span<const BatchSlice> slices,
+                                             const SearchParams& params,
+                                             Report* report = nullptr);
 
   /// Runs a caller-assembled stage pipeline (see rtnn/stages.hpp). This is
   /// how the Figure-13 ablations and engine-layer experiments drive the
@@ -138,5 +165,13 @@ class NeighborSearch {
 /// One-shot convenience wrapper.
 NeighborResult search(std::span<const Vec3> points, std::span<const Vec3> queries,
                       const SearchParams& params, NeighborSearch::Report* report = nullptr);
+
+/// Scatters a coalesced batch result back to per-request results: output i
+/// holds rows [slices[i].first, slices[i].first + slices[i].count) of
+/// `batch`. Slices must lie within the batch (they may overlap or leave
+/// gaps — a slice is a view, not a partition). Works for any backend's
+/// NeighborResult, with or without stored indices.
+std::vector<NeighborResult> split_batch_result(const NeighborResult& batch,
+                                               std::span<const BatchSlice> slices);
 
 }  // namespace rtnn

@@ -228,6 +228,27 @@ void LaunchStage::run(SearchContext& ctx) {
   }
 }
 
+std::vector<NeighborResult> split_batch_result(const NeighborResult& batch,
+                                               std::span<const BatchSlice> slices) {
+  std::vector<NeighborResult> results;
+  results.reserve(slices.size());
+  const bool indices = batch.stores_indices();
+  for (const BatchSlice& slice : slices) {
+    RTNN_CHECK(slice.first + slice.count <= batch.num_queries(),
+               "batch slice exceeds the batch result");
+    NeighborResult out(slice.count, batch.k(), indices);
+    for (std::size_t q = 0; q < slice.count; ++q) {
+      if (indices) {
+        for (const std::uint32_t p : batch.neighbors(slice.first + q)) out.record(q, p);
+      } else {
+        out.count_ref(q) = batch.count(slice.first + q);
+      }
+    }
+    results.push_back(std::move(out));
+  }
+  return results;
+}
+
 DynamicSearchSession::DynamicSearchSession(const SearchParams& params,
                                            const CostModel& model)
     : params_(params) {

@@ -1,0 +1,274 @@
+#include "service/service.hpp"
+
+#include <algorithm>
+#include <exception>
+
+#include "core/error.hpp"
+#include "engine/registry.hpp"
+
+namespace rtnn::service {
+
+namespace detail {
+
+/// Everything one in-flight request carries between submit() and get().
+/// The submitter owns a reference through the Ticket; the dispatcher
+/// fills outcome/error and fires `done`. After the signal the dispatcher
+/// never touches the state again, so the waiter reads without a lock.
+struct RequestState {
+  std::vector<Vec3> queries;  // copied at submit: the caller's span may die
+  SearchParams params;
+  RequestOutcome outcome;
+  std::string error;  // non-empty when the request failed
+  CompletionEvent done;
+};
+
+}  // namespace detail
+
+namespace {
+
+/// Requests coalesce into one launch only when every field that shapes
+/// the answer or the pipeline agrees.
+bool params_compatible(const SearchParams& a, const SearchParams& b) {
+  return a.mode == b.mode && a.radius == b.radius && a.k == b.k &&
+         a.opts.scheduling == b.opts.scheduling &&
+         a.opts.partitioning == b.opts.partitioning &&
+         a.opts.bundling == b.opts.bundling &&
+         a.store_indices == b.store_indices &&
+         a.max_grid_cells == b.max_grid_cells &&
+         a.conservative_knn_aabb == b.conservative_knn_aabb &&
+         a.simt_launches == b.simt_launches && a.aabb_scale == b.aabb_scale &&
+         a.elide_sphere_test == b.elide_sphere_test;
+}
+
+}  // namespace
+
+// --- Ticket ------------------------------------------------------------------
+
+bool SearchService::Ticket::ready() const {
+  RTNN_CHECK(state_ != nullptr, "empty ticket");
+  return state_->done.signaled();
+}
+
+void SearchService::Ticket::wait() const {
+  RTNN_CHECK(state_ != nullptr, "empty ticket");
+  state_->done.wait();
+}
+
+bool SearchService::Ticket::wait_for(std::chrono::nanoseconds timeout) const {
+  RTNN_CHECK(state_ != nullptr, "empty ticket");
+  return state_->done.wait_for(timeout);
+}
+
+RequestOutcome SearchService::Ticket::get() {
+  RTNN_CHECK(state_ != nullptr, "empty ticket");
+  state_->done.wait();
+  if (!state_->error.empty()) throw Error(state_->error);
+  return std::move(state_->outcome);
+}
+
+// --- SearchService -----------------------------------------------------------
+
+SearchService::SearchService(std::span<const Vec3> points,
+                             const ServiceOptions& options)
+    : options_(options) {
+  RTNN_CHECK(!points.empty(), "a service needs points");
+  RTNN_CHECK(options_.max_batch_queries > 0 && options_.max_batch_requests > 0,
+             "batch caps must be positive");
+  master_ = engine::make_backend(options_.backend);
+  RTNN_CHECK(master_->caps().snapshot,
+             "backend cannot snapshot (caps().snapshot is false)");
+  master_->set_index_persistence(true);
+  master_->set_points(points);
+  auto snap = std::make_shared<Snapshot>();
+  snap->version = 0;
+  snap->backend = master_->snapshot();
+  {
+    std::lock_guard<std::mutex> lock(snapshot_mutex_);
+    snapshot_ = std::move(snap);
+  }
+  dispatcher_ = std::thread([this] { dispatch_loop(); });
+}
+
+SearchService::~SearchService() { shutdown(); }
+
+void SearchService::shutdown() {
+  // The whole sequence runs under the writer lock: concurrent shutdown
+  // calls serialize (the loser finds the thread already joined), and no
+  // writer can publish into a closing service. The dispatcher never
+  // takes update_mutex_, so joining under it cannot deadlock.
+  std::lock_guard<std::mutex> lock(update_mutex_);
+  stopped_ = true;
+  queue_.close();  // dispatcher drains what is queued, then exits
+  if (dispatcher_.joinable()) dispatcher_.join();
+}
+
+SearchService::Ticket SearchService::submit(std::span<const Vec3> queries,
+                                            const SearchParams& params) {
+  RTNN_CHECK(!queries.empty(), "a request needs queries");
+  auto state = std::make_shared<detail::RequestState>();
+  state->queries.assign(queries.begin(), queries.end());
+  state->params = params;
+  RTNN_CHECK(queue_.push(state), "service is shut down");
+  return Ticket(std::move(state));
+}
+
+RequestOutcome SearchService::query(std::span<const Vec3> queries,
+                                    const SearchParams& params) {
+  return submit(queries, params).get();
+}
+
+void SearchService::update_points(std::span<const Vec3> points) {
+  RTNN_CHECK(!points.empty(), "an update needs points");
+  std::lock_guard<std::mutex> lock(update_mutex_);
+  RTNN_CHECK(!stopped_, "service is shut down");
+
+  // The master absorbs the motion: same count = a move dynamic backends
+  // refit; a resize = a fresh upload (new index lineage, like the
+  // DynamicSearchSession resize fallback).
+  if (points.size() == master_->point_count()) {
+    master_->update_points(points);
+  } else {
+    master_->set_points(points);
+  }
+
+  // Resolve the deferred index work here, on the writer's thread: a
+  // one-probe search drives the refit-vs-rebuild policy (and rebuilds the
+  // backend's auxiliary caches), so the published snapshot is warm and
+  // the read path never pays for an update. Before the first dispatch no
+  // params are known — the first batch on the new snapshot syncs lazily.
+  std::optional<SearchParams> warm;
+  {
+    std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+    warm = warm_params_;
+  }
+  NeighborSearch::Report warm_report;
+  if (warm.has_value()) {
+    const Vec3 probe = points[0];
+    (void)master_->search(std::span<const Vec3>(&probe, 1), *warm, &warm_report);
+  }
+
+  auto snap = std::make_shared<Snapshot>();
+  snap->backend = master_->snapshot();
+  {
+    std::lock_guard<std::mutex> snap_lock(snapshot_mutex_);
+    snap->version = snapshot_->version + 1;
+    snapshot_ = std::move(snap);
+  }
+  {
+    std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+    ++stats_.updates;
+    stats_.report += warm_report;  // refit/rebuild increments land here
+  }
+}
+
+std::shared_ptr<SearchService::Snapshot> SearchService::current_snapshot() const {
+  std::lock_guard<std::mutex> lock(snapshot_mutex_);
+  return snapshot_;
+}
+
+std::uint64_t SearchService::snapshot_version() const {
+  return current_snapshot()->version;
+}
+
+std::size_t SearchService::point_count() const {
+  return current_snapshot()->backend->point_count();
+}
+
+ServiceStats SearchService::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return stats_;
+}
+
+void SearchService::dispatch_loop() {
+  while (true) {
+    std::optional<RequestPtr> first = queue_.pop();
+    if (!first.has_value()) return;  // closed and drained
+
+    // The batching tick: the oldest request waits at most max_delay for
+    // company; the batch also dispatches as soon as a cap fills.
+    std::vector<RequestPtr> batch{std::move(*first)};
+    std::size_t total = batch.front()->queries.size();
+    const auto deadline = std::chrono::steady_clock::now() + options_.max_delay;
+    while (batch.size() < options_.max_batch_requests &&
+           total < options_.max_batch_queries) {
+      const auto now = std::chrono::steady_clock::now();
+      if (now >= deadline) break;
+      std::optional<RequestPtr> next = queue_.pop_for(deadline - now);
+      if (!next.has_value()) break;  // tick over (or closing: drain next loop)
+      total += (*next)->queries.size();
+      batch.push_back(std::move(*next));
+    }
+
+    // Coalesce compatible params; incompatible requests still dispatch
+    // this tick, as their own groups, in arrival order.
+    std::vector<std::vector<RequestPtr>> groups;
+    for (RequestPtr& request : batch) {
+      auto fits = std::find_if(groups.begin(), groups.end(), [&](const auto& g) {
+        return params_compatible(g.front()->params, request->params);
+      });
+      if (fits == groups.end()) {
+        groups.emplace_back().push_back(std::move(request));
+      } else {
+        fits->push_back(std::move(request));
+      }
+    }
+    for (const std::vector<RequestPtr>& group : groups) dispatch_group(group);
+  }
+}
+
+void SearchService::dispatch_group(const std::vector<RequestPtr>& group) {
+  // Pin the snapshot current *now*: a concurrent update_points() publishes
+  // the next version without disturbing this batch.
+  const std::shared_ptr<Snapshot> snap = current_snapshot();
+
+  // Merge the group into one query array, tagging each request's rows.
+  std::vector<Vec3> merged;
+  std::vector<BatchSlice> slices;
+  slices.reserve(group.size());
+  std::size_t total = 0;
+  for (const RequestPtr& request : group) total += request->queries.size();
+  merged.reserve(total);
+  for (const RequestPtr& request : group) {
+    slices.push_back({merged.size(), request->queries.size()});
+    merged.insert(merged.end(), request->queries.begin(), request->queries.end());
+  }
+
+  const SearchParams& params = group.front()->params;
+  NeighborSearch::Report report;
+  bool served = false;
+  try {
+    // One launch for the whole tick; per-request results scatter out of
+    // the row-addressed batch result.
+    NeighborResult batch_result = snap->backend->search(merged, params, &report);
+    std::vector<NeighborResult> results = split_batch_result(batch_result, slices);
+    for (std::size_t i = 0; i < group.size(); ++i) {
+      RequestOutcome& outcome = group[i]->outcome;
+      outcome.result = std::move(results[i]);
+      outcome.report = report;
+      outcome.snapshot_version = snap->version;
+      outcome.batch_requests = static_cast<std::uint32_t>(group.size());
+      outcome.batch_queries = merged.size();
+    }
+    served = true;
+  } catch (const std::exception& e) {
+    for (const RequestPtr& request : group) request->error = e.what();
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.batches;
+    stats_.requests += group.size();
+    // Failed batches count requests (their tickets were signaled) but not
+    // rows: `queries` means rows actually served, so it stays in step
+    // with the aggregate report's ray counter.
+    if (served) stats_.queries += merged.size();
+    stats_.report += report;
+    // Only params the backend accepted may warm the writer path: a
+    // rejected request must not poison the next update's probe search.
+    if (served) warm_params_ = params;
+  }
+  // Signal last: once `done` fires the waiter may destroy the state.
+  for (const RequestPtr& request : group) request->done.signal();
+}
+
+}  // namespace rtnn::service

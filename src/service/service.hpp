@@ -1,0 +1,222 @@
+// The serving layer: one point cloud, many concurrent callers.
+//
+// Every entry point below the service — NeighborSearch::search(), the
+// engine backends, DynamicSearchSession — is single-caller: one thread
+// owns the index and queries arrive as one monolithic array. SearchService
+// turns that machinery into a concurrent request server:
+//
+//   * The point cloud lives behind immutable, refcounted index snapshots
+//     (publish-on-update atop the engine's SearchBackend::snapshot(),
+//     which shares ox::Accel build products copy-on-write). Readers pin
+//     the snapshot current at dispatch time; update_points() builds and
+//     publishes the *next* snapshot on the writer's thread — readers are
+//     never blocked and never observe a half-updated index.
+//   * Requests from any number of threads are coalesced by a dispatcher
+//     into batched launches: every tick, all compatible pending requests
+//     merge into one backend search — one schedule/partition/bundle pass
+//     and one LaunchStage dispatch amortized across the batch (the
+//     paper's pipeline is exactly the shape that wants big launches, and
+//     serving traffic arrives as many small ones). Results scatter back
+//     to per-request slots via rtnn::split_batch_result.
+//   * Updates flow through the PR-4 index lifecycle off the read path:
+//     the writer-owned master backend absorbs update_points(), a warm
+//     probe search resolves the refit-vs-rebuild policy on the writer's
+//     thread, and the refreshed snapshot is published atomically.
+//
+//   SearchService service(points);                  // backend: "rtnn"
+//   rtnn::SearchParams params;
+//   params.mode = rtnn::SearchMode::kKnn;
+//   params.radius = 0.05f;
+//   params.k = 16;
+//
+//   // Synchronous: submit + wait, from any thread.
+//   auto outcome = service.query(queries, params);
+//
+//   // Asynchronous: fire from many threads, join later.
+//   auto ticket = service.submit(queries, params);
+//   ... // the dispatcher coalesces in-flight requests into one launch
+//   auto async_outcome = ticket.get();              // blocks until served
+//
+//   // Writer path: publish the next frame without stalling readers.
+//   service.update_points(moved);                   // refit/rebuild here
+//
+// Reports aggregate per request rather than per call: each outcome
+// carries the Report of the coalesced batch it rode in, and stats()
+// exposes the exactly-summed service-wide totals (batch counters sum via
+// NeighborSearch::Report::operator+=; refit/rebuild increments from the
+// update path are counted there too).
+//
+// Threading contract: submit()/query()/update_points()/stats() are safe
+// from any thread. Backend search state is only ever touched by the
+// dispatcher thread (snapshots) and the update path (the master, under
+// the writer lock), so the backends themselves need no internal locking.
+//
+// See README.md ("Serving") for the snapshot lifecycle and batching-tick
+// walkthrough, and examples/serving_demo.cpp for a full client/writer
+// program over a drifting cloud.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/neighbor_result.hpp"
+#include "core/parallel.hpp"
+#include "core/vec3.hpp"
+#include "engine/search_backend.hpp"
+#include "rtnn/neighbor_search.hpp"
+#include "rtnn/types.hpp"
+
+namespace rtnn::service {
+
+/// Serving configuration, fixed at construction.
+struct ServiceOptions {
+  /// Engine backend the service snapshots and serves (BackendRegistry
+  /// name). Must declare caps().snapshot.
+  std::string backend = "rtnn";
+  /// Coalescing caps per tick: a batch dispatches as soon as it holds
+  /// this many query rows (or requests), even if the tick is not over.
+  std::size_t max_batch_queries = std::size_t{1} << 15;
+  std::size_t max_batch_requests = 1024;
+  /// The batching tick: how long the oldest pending request waits for
+  /// company before its batch dispatches. 0 = dispatch immediately
+  /// (degenerates to per-request launches; useful for tests).
+  std::chrono::microseconds max_delay{200};
+};
+
+/// Everything a served request gets back.
+struct RequestOutcome {
+  NeighborResult result;
+  /// The aggregate Report of the coalesced batch this request rode in
+  /// (shared by all requests of the batch; there is no per-row
+  /// attribution of launch cost).
+  NeighborSearch::Report report;
+  /// Version of the snapshot that answered (0 = the construction upload;
+  /// each update_points() publishes the next version).
+  std::uint64_t snapshot_version = 0;
+  /// How many requests and query rows shared the dispatch.
+  std::uint32_t batch_requests = 0;
+  std::size_t batch_queries = 0;
+};
+
+/// Exactly-summed service-wide totals (see stats()).
+struct ServiceStats {
+  std::uint64_t requests = 0;  // requests served (signaled), failed included
+  std::uint64_t batches = 0;   // coalesced dispatches those requests rode in
+  std::uint64_t queries = 0;   // query rows served
+  std::uint64_t updates = 0;   // snapshots published after the first
+  /// Merged per-batch (and update-path warm) reports: times and counters
+  /// sum exactly; sah_inflation is the worst observed.
+  NeighborSearch::Report report;
+};
+
+namespace detail {
+struct RequestState;
+}
+
+class SearchService {
+ public:
+  /// Future for one submitted request. Movable; wait from any thread.
+  class Ticket {
+   public:
+    Ticket() = default;
+
+    bool valid() const { return state_ != nullptr; }
+    /// True once the request has been served (get() will not block).
+    bool ready() const;
+    /// Blocks until the request is served.
+    void wait() const;
+    /// Bounded wait; true when served within `timeout`.
+    bool wait_for(std::chrono::nanoseconds timeout) const;
+    /// Waits and moves the outcome out (call once). Throws rtnn::Error
+    /// when the request failed — e.g. params the backend rejects.
+    RequestOutcome get();
+
+   private:
+    friend class SearchService;
+    explicit Ticket(std::shared_ptr<detail::RequestState> state)
+        : state_(std::move(state)) {}
+    std::shared_ptr<detail::RequestState> state_;
+  };
+
+  /// Builds the first snapshot over `points` and starts the dispatcher.
+  explicit SearchService(std::span<const Vec3> points,
+                         const ServiceOptions& options = {});
+  ~SearchService();  // shutdown()
+
+  SearchService(const SearchService&) = delete;
+  SearchService& operator=(const SearchService&) = delete;
+
+  /// Enqueues a request; the dispatcher coalesces it with other pending
+  /// requests of compatible params into one batched launch. Throws once
+  /// the service is shut down.
+  Ticket submit(std::span<const Vec3> queries, const SearchParams& params);
+
+  /// Synchronous convenience: submit() + get().
+  RequestOutcome query(std::span<const Vec3> queries, const SearchParams& params);
+
+  /// Writer path: moves the cloud to `points` and publishes the next
+  /// snapshot. Same count = a move (dynamic backends refit per the cost
+  /// model's policy); a resize = a fresh upload and build. All index work
+  /// runs on the calling thread — concurrent readers keep their pinned
+  /// snapshot and are never blocked. Writers serialize among themselves.
+  void update_points(std::span<const Vec3> points);
+
+  /// Version of the currently published snapshot.
+  std::uint64_t snapshot_version() const;
+
+  /// Point count of the currently published snapshot.
+  std::size_t point_count() const;
+
+  /// Service-wide aggregate (exactly-summed counters; see ServiceStats).
+  ServiceStats stats() const;
+
+  /// Stops accepting requests, serves everything already queued, and
+  /// joins the dispatcher. Idempotent; the destructor calls it.
+  void shutdown();
+
+ private:
+  /// One published index version: `backend` is searched only by the
+  /// dispatcher thread, never mutated by writers (they clone the master
+  /// instead), so in-flight batches and snapshot publishes never share
+  /// mutable state.
+  struct Snapshot {
+    std::uint64_t version = 0;
+    std::unique_ptr<engine::SearchBackend> backend;
+  };
+
+  using RequestPtr = std::shared_ptr<detail::RequestState>;
+
+  void dispatch_loop();
+  void dispatch_group(const std::vector<RequestPtr>& group);
+  std::shared_ptr<Snapshot> current_snapshot() const;
+
+  ServiceOptions options_;
+
+  // Writer state: the master backend owns the authoritative cloud and
+  // index lineage. Guarded by update_mutex_; never searched by readers.
+  std::mutex update_mutex_;
+  std::unique_ptr<engine::SearchBackend> master_;
+
+  // The published snapshot readers pin (swapped atomically under its own
+  // mutex so publishes never wait on dispatches).
+  mutable std::mutex snapshot_mutex_;
+  std::shared_ptr<Snapshot> snapshot_;
+
+  WorkQueue<RequestPtr> queue_;
+  std::thread dispatcher_;
+  bool stopped_ = false;  // guarded by update_mutex_ (shutdown vs writers)
+
+  mutable std::mutex stats_mutex_;
+  ServiceStats stats_;
+  /// Params of the most recent dispatch — what update_points() warms the
+  /// refreshed index with (guarded by stats_mutex_).
+  std::optional<SearchParams> warm_params_;
+};
+
+}  // namespace rtnn::service

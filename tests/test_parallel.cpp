@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 namespace rtnn {
@@ -91,6 +93,83 @@ TEST(Parallel, ExclusiveScanU64) {
   const auto total = exclusive_scan(v);
   EXPECT_EQ(total, 3u);
   EXPECT_EQ(v, (std::vector<std::uint64_t>{0, 1, 2}));
+}
+
+TEST(CompletionEvent, SignalReleasesWaiter) {
+  CompletionEvent event;
+  EXPECT_FALSE(event.signaled());
+  EXPECT_FALSE(event.wait_for(std::chrono::milliseconds(1)));
+  std::thread signaler([&] { event.signal(); });
+  event.wait();
+  EXPECT_TRUE(event.signaled());
+  EXPECT_TRUE(event.wait_for(std::chrono::milliseconds(1)));  // already fired
+  event.wait();                                               // returns forever
+  signaler.join();
+}
+
+TEST(WorkQueue, FifoAcrossProducers) {
+  WorkQueue<int> queue;
+  EXPECT_EQ(queue.size(), 0u);
+  EXPECT_FALSE(queue.try_pop().has_value());
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(queue.push(i));
+  EXPECT_EQ(queue.size(), 5u);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(queue.pop(), i);
+}
+
+TEST(WorkQueue, CloseDrainsThenRefuses) {
+  WorkQueue<int> queue;
+  EXPECT_TRUE(queue.push(1));
+  EXPECT_TRUE(queue.push(2));
+  queue.close();
+  EXPECT_TRUE(queue.closed());
+  EXPECT_FALSE(queue.push(3));  // refused, dropped
+  EXPECT_EQ(queue.pop(), 1);    // queued items still drain
+  EXPECT_EQ(queue.pop(), 2);
+  EXPECT_FALSE(queue.pop().has_value());  // closed and empty: no block
+  EXPECT_FALSE(queue.pop_for(std::chrono::milliseconds(1)).has_value());
+}
+
+TEST(WorkQueue, PopForTimesOutWithoutItems) {
+  WorkQueue<int> queue;
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_FALSE(queue.pop_for(std::chrono::milliseconds(5)).has_value());
+  EXPECT_GE(std::chrono::steady_clock::now() - start, std::chrono::milliseconds(4));
+}
+
+TEST(WorkQueue, CloseWakesBlockedConsumer) {
+  WorkQueue<int> queue;
+  std::atomic<bool> woke{false};
+  std::thread consumer([&] {
+    EXPECT_FALSE(queue.pop().has_value());
+    woke = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  queue.close();
+  consumer.join();
+  EXPECT_TRUE(woke.load());
+}
+
+TEST(WorkQueue, ManyProducersOneConsumerDeliversEverything) {
+  WorkQueue<int> queue;
+  constexpr int kProducers = 4;
+  constexpr int kItemsEach = 250;
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kItemsEach; ++i) {
+        EXPECT_TRUE(queue.push(p * kItemsEach + i));
+      }
+    });
+  }
+  std::vector<bool> seen(kProducers * kItemsEach, false);
+  for (int n = 0; n < kProducers * kItemsEach; ++n) {
+    const auto item = queue.pop();
+    ASSERT_TRUE(item.has_value());
+    ASSERT_FALSE(seen[static_cast<std::size_t>(*item)]);
+    seen[static_cast<std::size_t>(*item)] = true;
+  }
+  for (auto& p : producers) p.join();
+  EXPECT_EQ(queue.size(), 0u);
 }
 
 }  // namespace

@@ -92,7 +92,7 @@ def main():
     # Absolute-time comparison only means something when the measurement
     # conditions agree; warn loudly when they don't, before any median is
     # compared, so a gate failure (or pass) is read in context.
-    for key in ("threads", "build_type", "compiler"):
+    for key in ("build_type", "compiler"):
         base_v = baseline.get("environment", {}).get(key)
         cur_v = current.get("environment", {}).get(key)
         if base_v != cur_v:
@@ -101,6 +101,22 @@ def main():
                 f"baseline={base_v!r} current={cur_v!r} — deltas include a "
                 "machine/configuration component"
             )
+
+    def report_threads(report):
+        # `--threads` records the resolved worker count in options; older
+        # reports only carry it in the environment block.
+        options_threads = report.get("options", {}).get("threads")
+        if options_threads:
+            return options_threads
+        return report.get("environment", {}).get("threads")
+
+    if report_threads(baseline) != report_threads(current):
+        print(
+            f"WARNING: measurement options mismatch on 'threads': "
+            f"baseline={report_threads(baseline)!r} "
+            f"current={report_threads(current)!r} — medians are not "
+            "directly comparable"
+        )
     for key in ("scale", "repeats", "warmup"):
         base_v = baseline.get("options", {}).get(key)
         cur_v = current.get("options", {}).get(key)
