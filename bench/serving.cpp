@@ -57,8 +57,23 @@ SearchParams serving_params(std::size_t n) {
   return params;
 }
 
+using bench_traffic::coherent_request_queries;
 using bench_traffic::percentile;
 using bench_traffic::request_queries;
+
+/// Per-stage seconds from the service's aggregate report, under the
+/// `stage.` prefix tools/bench_compare.py breaks serving deltas down by
+/// (reorder cost lands in stage.opt, the traversal win in stage.search).
+void emit_stage_metrics(rtnn::bench::CaseContext& ctx, const std::string& prefix,
+                        const service::ServiceStats& stats) {
+  const TimeBreakdown& time = stats.report.time;
+  ctx.metric(prefix + "stage.data", time.data, "s");
+  ctx.metric(prefix + "stage.opt", time.opt, "s");
+  ctx.metric(prefix + "stage.bvh", time.bvh, "s");
+  ctx.metric(prefix + "stage.fs", time.first_search, "s");
+  ctx.metric(prefix + "stage.search", time.search, "s");
+  ctx.metric(prefix + "stage.launches", static_cast<double>(stats.batches));
+}
 
 }  // namespace
 
@@ -117,12 +132,78 @@ RTNN_BENCH_CASE(serving_closed_loop, "serving.closed_loop.100k",
              stats.batches ? static_cast<double>(stats.requests) /
                                  static_cast<double>(stats.batches)
                            : 0.0);
+  emit_stage_metrics(ctx, "", stats);
   std::printf(
       "%8s %9s  %14s %14s %9s %14s\n"
       "%8zu %9d  %14.5f %14.5f %8.2fx %14.0f\n",
       "points", "clients", "batched[s]", "sequential[s]", "speedup", "queries/s",
       kServingPoints, clients, batched_s, sequential_s, speedup,
       total_queries / batched_s);
+}
+
+RTNN_BENCH_CASE(serving_coherent, "serving.coherent.100k",
+                "Serving coherent traffic — batch optimizer vs arrival-order dispatch",
+                "the paper's query reorganization over the *merged* cross-request "
+                "set: Morton reorder + coincident-query dedup; duplicate-heavy "
+                "lidar-slice traffic makes the win grow with the client count",
+                "absolute 100k points; client counts 2 and max(2, --threads)") {
+  const data::PointCloud cloud = data::uniform_box(
+      kServingPoints, {{0, 0, 0}, {1, 1, 1}}, bench::mix_seed(ctx.seed(), 813));
+  const SearchParams params = serving_params(cloud.size());
+
+  std::printf("%8s %14s %14s %9s %9s\n", "clients", "optimized[s]", "arrival[s]",
+              "speedup", "dedup");
+
+  std::vector<int> sweep{2, std::max(2, num_threads())};
+  if (sweep[1] == sweep[0]) sweep.pop_back();
+  for (const int clients : sweep) {
+    const auto total_queries = static_cast<double>(bench_traffic::total_coherent_queries(
+        cloud, clients, kRequestsPerClient));
+    const std::string tag = ".c" + std::to_string(clients);
+
+    // The same coherent request schedule drives both configurations.
+    auto closed_loop = [&](service::SearchService& service) {
+      std::vector<std::thread> workers;
+      workers.reserve(static_cast<std::size_t>(clients));
+      for (int c = 0; c < clients; ++c) {
+        workers.emplace_back([&, c] {
+          for (int r = 0; r < kRequestsPerClient; ++r) {
+            (void)service.query(coherent_request_queries(cloud, c, r), params);
+          }
+        });
+      }
+      for (auto& w : workers) w.join();
+    };
+
+    // Optimizer on (the default): merged Morton reorder + coincident
+    // dedup + homogeneous bins.
+    service::SearchService optimized(cloud);
+    const double optimized_s = ctx.time("batched" + tag, [&] { closed_loop(optimized); },
+                                        {.work_items = total_queries});
+    const service::ServiceStats on_stats = optimized.stats();
+
+    // The PR-5 dispatcher: arrival-order concatenation, no reorganization.
+    service::ServiceOptions arrival_options;
+    arrival_options.batch_reorder = false;
+    service::SearchService arrival(cloud, arrival_options);
+    const double arrival_s = ctx.time("arrival" + tag, [&] { closed_loop(arrival); },
+                                      {.work_items = total_queries});
+
+    const double speedup = arrival_s / optimized_s;
+    const double dedup_share =
+        on_stats.queries ? static_cast<double>(on_stats.report.queries_deduped) /
+                               static_cast<double>(on_stats.queries)
+                         : 0.0;
+    ctx.metric("speedup" + tag, speedup, "x");
+    ctx.metric("dedup_share" + tag, dedup_share);
+    ctx.metric("bins" + tag, static_cast<double>(on_stats.report.batch_bins));
+    if (clients == sweep.back()) {
+      emit_stage_metrics(ctx, "on.", on_stats);
+      emit_stage_metrics(ctx, "off.", arrival.stats());
+    }
+    std::printf("%8d %14.5f %14.5f %8.2fx %8.1f%%\n", clients, optimized_s, arrival_s,
+                speedup, 100.0 * dedup_share);
+  }
 }
 
 RTNN_BENCH_CASE(serving_open_loop, "serving.open_loop.100k",

@@ -19,6 +19,8 @@ NeighborSearch::Report& NeighborSearch::Report::operator+=(const Report& o) {
   accel_refits += o.accel_refits;
   accel_rebuilds += o.accel_rebuilds;
   sah_inflation = std::max(sah_inflation, o.sah_inflation);
+  queries_deduped += o.queries_deduped;
+  batch_bins += o.batch_bins;
   return *this;
 }
 

@@ -75,6 +75,10 @@ class NeighborSearch {
     std::uint32_t accel_refits = 0;    // base accel refitted this call
     std::uint32_t accel_rebuilds = 0;  // base accel rebuilt by the policy
     double sah_inflation = 1.0;        // base accel quality after this call
+    // Batch-optimizer activity (the serving path's coherence pass; zero
+    // on plain searches). Optimizer wall time is charged to time.opt.
+    std::uint64_t queries_deduped = 0; // rows answered by a coincident representative
+    std::uint32_t batch_bins = 0;      // homogeneous launch bins emitted
     /// Aggregation across calls/batches (the serving layer's per-service
     /// totals): every time and counter sums exactly; sah_inflation keeps
     /// the worst (largest) quality degradation observed.
@@ -173,5 +177,17 @@ NeighborResult search(std::span<const Vec3> points, std::span<const Vec3> querie
 /// NeighborResult, with or without stored indices.
 std::vector<NeighborResult> split_batch_result(const NeighborResult& batch,
                                                std::span<const BatchSlice> slices);
+
+/// Permutation-aware scatter (the batch optimizer's fan-out): output i's
+/// row q reads batch row `batch_rows[slices[i].first + q]` instead of the
+/// identity mapping — `batch_rows` is the merged-row → result-row map a
+/// reorder/dedup pass produced (an inverse permutation when every row kept
+/// its own result; many-to-one when coincident rows share a
+/// representative's). Per-request result slots are untouched by either
+/// pass: slices keep addressing pre-optimization rows. `batch_rows` must
+/// cover every row a slice touches, with every entry < batch.num_queries().
+std::vector<NeighborResult> split_batch_result(const NeighborResult& batch,
+                                               std::span<const BatchSlice> slices,
+                                               std::span<const std::uint32_t> batch_rows);
 
 }  // namespace rtnn

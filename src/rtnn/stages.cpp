@@ -228,25 +228,48 @@ void LaunchStage::run(SearchContext& ctx) {
   }
 }
 
-std::vector<NeighborResult> split_batch_result(const NeighborResult& batch,
-                                               std::span<const BatchSlice> slices) {
+namespace {
+
+/// Shared scatter core: `row_of(merged_row)` names the batch-result row
+/// that answers a merged row — identity for plain coalesced batches, the
+/// optimizer's representative map for reordered/deduped ones.
+template <typename RowOf>
+std::vector<NeighborResult> scatter_batch_result(const NeighborResult& batch,
+                                                 std::span<const BatchSlice> slices,
+                                                 RowOf&& row_of) {
   std::vector<NeighborResult> results;
   results.reserve(slices.size());
   const bool indices = batch.stores_indices();
   for (const BatchSlice& slice : slices) {
-    RTNN_CHECK(slice.first + slice.count <= batch.num_queries(),
-               "batch slice exceeds the batch result");
     NeighborResult out(slice.count, batch.k(), indices);
     for (std::size_t q = 0; q < slice.count; ++q) {
+      const std::size_t row = row_of(slice.first + q);
+      RTNN_CHECK(row < batch.num_queries(), "batch slice exceeds the batch result");
       if (indices) {
-        for (const std::uint32_t p : batch.neighbors(slice.first + q)) out.record(q, p);
+        for (const std::uint32_t p : batch.neighbors(row)) out.record(q, p);
       } else {
-        out.count_ref(q) = batch.count(slice.first + q);
+        out.count_ref(q) = batch.count(row);
       }
     }
     results.push_back(std::move(out));
   }
   return results;
+}
+
+}  // namespace
+
+std::vector<NeighborResult> split_batch_result(const NeighborResult& batch,
+                                               std::span<const BatchSlice> slices) {
+  return scatter_batch_result(batch, slices, [](std::size_t row) { return row; });
+}
+
+std::vector<NeighborResult> split_batch_result(const NeighborResult& batch,
+                                               std::span<const BatchSlice> slices,
+                                               std::span<const std::uint32_t> batch_rows) {
+  return scatter_batch_result(batch, slices, [&](std::size_t row) {
+    RTNN_CHECK(row < batch_rows.size(), "batch slice exceeds the row map");
+    return static_cast<std::size_t>(batch_rows[row]);
+  });
 }
 
 DynamicSearchSession::DynamicSearchSession(const SearchParams& params,

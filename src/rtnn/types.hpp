@@ -31,6 +31,26 @@ struct OptimizationFlags {
   static OptimizationFlags all() { return {true, true, true}; }
 };
 
+/// The answer-shaping subset of SearchParams: two requests whose keys
+/// compare equal are guaranteed the same results from one merged launch,
+/// regardless of how their pipeline-shaping fields (OptimizationFlags,
+/// simt_launches, max_grid_cells — exactness-preserving by contract)
+/// differ. This is the one definition of "batchable" shared by the
+/// serving dispatcher and the batch optimizer's sub-batch splitter
+/// (SearchParams::batch_key()); there is no second hand-rolled
+/// field-by-field comparison to drift from it.
+struct BatchKey {
+  SearchMode mode = SearchMode::kRange;
+  float radius = 1.0f;
+  std::uint32_t k = 16;
+  bool store_indices = true;
+  bool conservative_knn_aabb = false;
+  float aabb_scale = 1.0f;
+  bool elide_sphere_test = false;
+
+  friend bool operator==(const BatchKey&, const BatchKey&) = default;
+};
+
 struct SearchParams {
   SearchMode mode = SearchMode::kRange;
   float radius = 1.0f;      // search radius r
@@ -66,6 +86,14 @@ struct SearchParams {
   /// a neighbor. Range search only. Returned neighbors are then within
   /// sqrt(3)*r of the query (the paper's quantitative error bound).
   bool elide_sphere_test = false;
+
+  /// The fields that shape the answer (see BatchKey): requests with equal
+  /// keys may share one launch without changing any per-request result.
+  BatchKey batch_key() const {
+    return {mode,  radius,     k,
+            store_indices, conservative_knn_aabb, aabb_scale,
+            elide_sphere_test};
+  }
 };
 
 }  // namespace rtnn

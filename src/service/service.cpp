@@ -5,6 +5,7 @@
 
 #include "core/error.hpp"
 #include "engine/registry.hpp"
+#include "rtnn/batch_optimizer.hpp"
 
 namespace rtnn::service {
 
@@ -23,24 +24,6 @@ struct RequestState {
 };
 
 }  // namespace detail
-
-namespace {
-
-/// Requests coalesce into one launch only when every field that shapes
-/// the answer or the pipeline agrees.
-bool params_compatible(const SearchParams& a, const SearchParams& b) {
-  return a.mode == b.mode && a.radius == b.radius && a.k == b.k &&
-         a.opts.scheduling == b.opts.scheduling &&
-         a.opts.partitioning == b.opts.partitioning &&
-         a.opts.bundling == b.opts.bundling &&
-         a.store_indices == b.store_indices &&
-         a.max_grid_cells == b.max_grid_cells &&
-         a.conservative_knn_aabb == b.conservative_knn_aabb &&
-         a.simt_launches == b.simt_launches && a.aabb_scale == b.aabb_scale &&
-         a.elide_sphere_test == b.elide_sphere_test;
-}
-
-}  // namespace
 
 // --- Ticket ------------------------------------------------------------------
 
@@ -199,12 +182,21 @@ void SearchService::dispatch_loop() {
       batch.push_back(std::move(*next));
     }
 
-    // Coalesce compatible params; incompatible requests still dispatch
-    // this tick, as their own groups, in arrival order.
+    if (options_.batch_reorder) {
+      // The optimizer path: one bin/reorder/dedup pass over the whole
+      // tick, one launch per homogeneous bin.
+      dispatch_optimized(batch);
+      continue;
+    }
+
+    // The arrival-order path: coalesce requests whose answer-shaping
+    // params agree (batch_key — the one definition the optimizer's
+    // splitter shares); incompatible requests still dispatch this tick,
+    // as their own groups, in arrival order.
     std::vector<std::vector<RequestPtr>> groups;
     for (RequestPtr& request : batch) {
       auto fits = std::find_if(groups.begin(), groups.end(), [&](const auto& g) {
-        return params_compatible(g.front()->params, request->params);
+        return g.front()->params.batch_key() == request->params.batch_key();
       });
       if (fits == groups.end()) {
         groups.emplace_back().push_back(std::move(request));
@@ -269,6 +261,71 @@ void SearchService::dispatch_group(const std::vector<RequestPtr>& group) {
   }
   // Signal last: once `done` fires the waiter may destroy the state.
   for (const RequestPtr& request : group) request->done.signal();
+}
+
+void SearchService::dispatch_optimized(const std::vector<RequestPtr>& batch) {
+  // Pin the snapshot once for the whole tick: every bin answers from the
+  // same index version.
+  const std::shared_ptr<Snapshot> snap = current_snapshot();
+
+  std::vector<BatchRequest> requests;
+  requests.reserve(batch.size());
+  for (const RequestPtr& request : batch) {
+    requests.push_back({request->queries, request->params});
+  }
+  BatchOptimizerOptions opt;
+  opt.reorder = true;
+  opt.dedup = true;
+  opt.dedup_cell_scale = options_.dedup_cell_scale;
+  opt.max_bin_queries = options_.max_bin_queries;
+  const BatchPlan plan = optimize_batch(requests, opt);
+
+  for (const BatchBin& bin : plan.bins) {
+    NeighborSearch::Report report;
+    bool served = false;
+    try {
+      // One launch per homogeneous bin, over the Morton-ordered
+      // representatives only; the scatter fans representative rows back
+      // out to every duplicate and request slot.
+      const NeighborResult rep_result =
+          snap->backend->search(bin.queries, bin.params, &report);
+      report.queries_deduped = bin.deduped;
+      report.batch_bins = 1;
+      std::vector<NeighborResult> results = bin.scatter(rep_result);
+      for (std::size_t i = 0; i < bin.request_ids.size(); ++i) {
+        RequestOutcome& outcome = batch[bin.request_ids[i]]->outcome;
+        outcome.result = std::move(results[i]);
+        outcome.report = report;
+        outcome.snapshot_version = snap->version;
+        outcome.batch_requests = static_cast<std::uint32_t>(bin.request_ids.size());
+        outcome.batch_queries = bin.merged_queries;
+      }
+      served = true;
+    } catch (const std::exception& e) {
+      // A rejected bin fails only its own members; the tick's other bins
+      // still serve.
+      for (const std::size_t id : bin.request_ids) batch[id]->error = e.what();
+    }
+
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.batches;
+      stats_.requests += bin.request_ids.size();
+      // Served rows count what the clients submitted (pre-dedup): the
+      // report's ray counter sees queries - queries_deduped of them.
+      if (served) stats_.queries += bin.merged_queries;
+      stats_.report += report;
+      if (served) warm_params_ = bin.params;
+    }
+    for (const std::size_t id : bin.request_ids) batch[id]->done.signal();
+  }
+
+  // Tick-level charge: the optimizer ran once for all bins, so its wall
+  // time lands in the service totals, not any single bin's report.
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    stats_.report.time.opt += plan.seconds;
+  }
 }
 
 }  // namespace rtnn::service

@@ -18,6 +18,18 @@
 //     paper's pipeline is exactly the shape that wants big launches, and
 //     serving traffic arrives as many small ones). Results scatter back
 //     to per-request slots via rtnn::split_batch_result.
+//   * The tick's merged query set then runs the paper's query
+//     reorganization — the batch optimizer (rtnn/batch_optimizer.hpp),
+//     on by default: requests bin into sub-batches homogeneous in the
+//     answer-shaping params (SearchParams::batch_key(); one launch per
+//     distinct (r, K, mode, ...) bin — differing pipeline knobs no
+//     longer force separate dispatch groups), each bin's rows are
+//     Morton-reordered across requests, and bitwise-coincident rows are
+//     answered once by an elected representative (queries_deduped in the
+//     reports). Dedup is exact by construction: only bitwise position
+//     equality transfers a result — a merely-near row falls back to its
+//     own exact search. ServiceOptions::batch_reorder=false restores the
+//     PR-5 arrival-order dispatcher unchanged.
 //   * Updates flow through the PR-4 index lifecycle off the read path:
 //     the writer-owned master backend absorbs update_points(), a warm
 //     probe search resolves the refit-vs-rebuild policy on the writer's
@@ -87,19 +99,39 @@ struct ServiceOptions {
   /// company before its batch dispatches. 0 = dispatch immediately
   /// (degenerates to per-request launches; useful for tests).
   std::chrono::microseconds max_delay{200};
+
+  // --- Batch optimizer (the coherence pass over a tick's merged rows;
+  // see rtnn/batch_optimizer.hpp) ---
+
+  /// Run the bin → Morton-reorder → coincident-dedup pipeline over each
+  /// tick (the default). Off = the arrival-order dispatcher: requests
+  /// group by batch_key() and concatenate in arrival order, no reorder,
+  /// no dedup. Results are identical either way — the optimizer's dedup
+  /// only ever transfers between bitwise-coincident rows.
+  bool batch_reorder = true;
+  /// Reorder/dedup grid cell width as a multiple of each bin's radius.
+  /// Cost/granularity knob only; never affects results.
+  float dedup_cell_scale = 1.0f;
+  /// Per-bin cap on merged rows (0 = unbounded; the tick caps above
+  /// already bound the merged set). A full bin closes and the same key
+  /// opens a fresh one.
+  std::size_t max_bin_queries = 0;
 };
 
 /// Everything a served request gets back.
 struct RequestOutcome {
   NeighborResult result;
-  /// The aggregate Report of the coalesced batch this request rode in
-  /// (shared by all requests of the batch; there is no per-row
-  /// attribution of launch cost).
+  /// The aggregate Report of the coalesced launch this request rode in —
+  /// with the optimizer on, its homogeneous bin (queries_deduped /
+  /// batch_bins count that bin's activity). Shared by every request of
+  /// the launch; there is no per-row attribution. Optimizer wall time is
+  /// tick-level and charged to stats().report.time.opt.
   NeighborSearch::Report report;
   /// Version of the snapshot that answered (0 = the construction upload;
   /// each update_points() publishes the next version).
   std::uint64_t snapshot_version = 0;
-  /// How many requests and query rows shared the dispatch.
+  /// How many requests and query rows shared the dispatch (rows counted
+  /// before dedup — what the clients submitted, not what was searched).
   std::uint32_t batch_requests = 0;
   std::size_t batch_queries = 0;
 };
@@ -107,8 +139,10 @@ struct RequestOutcome {
 /// Exactly-summed service-wide totals (see stats()).
 struct ServiceStats {
   std::uint64_t requests = 0;  // requests served (signaled), failed included
-  std::uint64_t batches = 0;   // coalesced dispatches those requests rode in
-  std::uint64_t queries = 0;   // query rows served
+  std::uint64_t batches = 0;   // coalesced launches those requests rode in
+                               // (one per homogeneous bin with the optimizer on)
+  std::uint64_t queries = 0;   // query rows served, pre-dedup (the report's ray
+                               // counter sees queries - report.queries_deduped)
   std::uint64_t updates = 0;   // snapshots published after the first
   /// Merged per-batch (and update-path warm) reports: times and counters
   /// sum exactly; sah_inflation is the worst observed.
@@ -194,6 +228,7 @@ class SearchService {
 
   void dispatch_loop();
   void dispatch_group(const std::vector<RequestPtr>& group);
+  void dispatch_optimized(const std::vector<RequestPtr>& batch);
   std::shared_ptr<Snapshot> current_snapshot() const;
 
   ServiceOptions options_;

@@ -6,12 +6,15 @@
 // failure reproduces from the test output alone.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "core/rng.hpp"
 #include "engine/engine.hpp"
+#include "rtnn/batch_optimizer.hpp"
 #include "test_util.hpp"
 
 using namespace rtnn;
@@ -230,6 +233,74 @@ TEST(Differential, EveryBackendAgreesWithBruteForce) {
         // distances may not.
         rtnn::testing::expect_knn_distances_match(trial.points, trial.queries, got,
                                                   knn_expected, label + " knn " + name);
+      }
+    }
+  }
+}
+
+TEST(Differential, BatchOptimizerOnVsOffIsExact) {
+  // The serving optimizer's exactness claim, under the geometries that
+  // stress it hardest: coincident sites (maximal dedup), degenerate
+  // extents, and float-cancellation magnitudes. Overlapping request
+  // windows guarantee cross-request bitwise-coincident rows on top of the
+  // generators' internal duplicates (half of make_queries' rows are exact
+  // point copies). Range must come back byte-identical; KNN is compared
+  // tie-tolerantly per the suite's convention.
+  for (const auto& make :
+       {coincident_trial, collinear_trial, planar_trial, extreme_trial}) {
+    const Trial trial = make(0xbee5ULL);
+    SCOPED_TRACE(trial.generator);
+    std::printf("[differential] optimizer generator=%s seed=%llu\n",
+                trial.generator.c_str(), static_cast<unsigned long long>(trial.seed));
+
+    const std::span<const Vec3> all(trial.queries);
+    const std::vector<std::span<const Vec3>> windows{
+        all.subspan(0, 64), all.subspan(32, 64), all};
+
+    SearchParams range;
+    range.mode = SearchMode::kRange;
+    range.radius = trial.radius;
+    range.k = static_cast<std::uint32_t>(trial.points.size());  // no truncation
+    SearchParams knn;
+    knn.mode = SearchMode::kKnn;
+    knn.radius = trial.radius;
+    knn.k = 8;
+
+    NeighborSearch search;
+    search.set_points(trial.points);
+    for (const SearchParams& params : {range, knn}) {
+      const std::string mode = params.mode == SearchMode::kRange ? "range" : "knn";
+      SCOPED_TRACE(mode);
+
+      std::vector<BatchRequest> requests;
+      for (const auto& window : windows) requests.push_back({window, params});
+      const BatchPlan plan = optimize_batch(requests);
+      ASSERT_EQ(plan.bins.size(), 1u);
+      const BatchBin& bin = plan.bins[0];
+      ASSERT_GT(bin.deduped, 0u);  // the overlapping windows guarantee it
+      const NeighborResult rep_result = search.search(bin.queries, bin.params);
+      const std::vector<NeighborResult> on = bin.scatter(rep_result);
+
+      for (std::size_t i = 0; i < windows.size(); ++i) {
+        const std::string label =
+            trial.generator + " " + mode + " request " + std::to_string(i);
+        const NeighborResult off = search.search(windows[i], params);
+        if (params.mode == SearchMode::kRange) {
+          // Byte-identical: same counts, same neighbor ids in the same
+          // order — the dedup guard only ever transfers between bitwise
+          // equal rows, and per-row traversal order is query-independent.
+          ASSERT_EQ(on[i].num_queries(), off.num_queries()) << label;
+          for (std::size_t q = 0; q < off.num_queries(); ++q) {
+            ASSERT_EQ(on[i].count(q), off.count(q)) << label << " query " << q;
+            const auto got = on[i].neighbors(q);
+            const auto want = off.neighbors(q);
+            ASSERT_TRUE(std::equal(got.begin(), got.end(), want.begin(), want.end()))
+                << label << " query " << q;
+          }
+        } else {
+          rtnn::testing::expect_knn_distances_match(trial.points, windows[i], on[i],
+                                                    off, label);
+        }
       }
     }
   }

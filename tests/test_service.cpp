@@ -287,6 +287,72 @@ TEST(SearchService, IncompatibleParamsDispatchAsSeparateGroups) {
   EXPECT_EQ(svc.stats().batches, 2u);
 }
 
+TEST(SearchService, PipelineOnlyParamDifferencesShareABin) {
+  const std::vector<Vec3> cloud = make_cloud(CloudKind::kUniform, kCloudSize, kSeed);
+  ServiceOptions options;
+  options.max_delay = std::chrono::microseconds(300'000);
+  SearchService svc(cloud, options);
+
+  // Three requests, two distinct batch keys: pipeline-shaping knobs (opts)
+  // are exactness-preserving, so they must not force a third launch.
+  const SearchParams plain = knn_params(typical_radius(CloudKind::kUniform));
+  SearchParams scheduled = plain;
+  scheduled.opts = OptimizationFlags::all();
+  SearchParams far = plain;
+  far.radius *= 2.0f;
+
+  auto t1 = svc.submit(client_queries(cloud, 0, 8, kSeed), plain);
+  auto t2 = svc.submit(client_queries(cloud, 50, 8, kSeed), scheduled);
+  auto t3 = svc.submit(client_queries(cloud, 90, 8, kSeed), far);
+
+  EXPECT_EQ(t1.get().batch_requests, 2u);  // binned with t2
+  EXPECT_EQ(t2.get().batch_requests, 2u);
+  EXPECT_EQ(t3.get().batch_requests, 1u);
+  const ServiceStats stats = svc.stats();
+  EXPECT_EQ(stats.batches, 2u);  // == distinct (r, K) keys, not param tuples
+  EXPECT_EQ(stats.report.batch_bins, 2u);
+}
+
+TEST(SearchService, DedupedCoincidentRowsStayExact) {
+  const std::vector<Vec3> cloud = make_cloud(CloudKind::kUniform, kCloudSize, kSeed);
+  const SearchParams params = knn_params(typical_radius(CloudKind::kUniform));
+
+  ServiceOptions on_options;
+  on_options.max_delay = std::chrono::microseconds(300'000);
+  SearchService on(cloud, on_options);
+  ServiceOptions off_options = on_options;
+  off_options.batch_reorder = false;
+  SearchService off(cloud, off_options);
+
+  // Overlapping exact windows of the cloud: rows repeat bitwise across the
+  // tick's requests (the coherent-traffic shape the optimizer dedups).
+  const std::vector<std::span<const Vec3>> windows{
+      std::span<const Vec3>(cloud.data(), 40),
+      std::span<const Vec3>(cloud.data() + 20, 40),
+      std::span<const Vec3>(cloud.data(), 40),
+  };
+  auto run = [&](SearchService& svc) {
+    std::vector<SearchService::Ticket> tickets;
+    for (const auto& window : windows) tickets.push_back(svc.submit(window, params));
+    std::vector<RequestOutcome> outcomes;
+    for (auto& ticket : tickets) outcomes.push_back(ticket.get());
+    return outcomes;
+  };
+  const auto got = run(on);
+  const auto want = run(off);
+  for (std::size_t i = 0; i < windows.size(); ++i) {
+    rtnn::testing::expect_knn_identical(cloud, windows[i], got[i].result, want[i].result,
+                                        "request " + std::to_string(i));
+  }
+
+  // The arrival-order path never dedups; the optimizer's ray counter plus
+  // its aliased rows reconstruct the submitted volume exactly.
+  EXPECT_EQ(off.stats().report.queries_deduped, 0u);
+  const ServiceStats stats = on.stats();
+  EXPECT_GT(stats.report.queries_deduped, 0u);
+  EXPECT_EQ(stats.report.stats.rays + stats.report.queries_deduped, stats.queries);
+}
+
 TEST(SearchService, TicketWaitForAndReady) {
   const std::vector<Vec3> cloud = make_cloud(CloudKind::kUniform, 500, kSeed);
   SearchService svc(cloud);
@@ -432,10 +498,12 @@ TEST(SearchService, ConcurrentCountsSumExactly) {
   EXPECT_EQ(stats.queries, total_queries);
   EXPECT_GE(stats.batches, 1u);
   EXPECT_LE(stats.batches, total_requests);
-  // One ray per query row on the unscheduled KNN path: the ray counter
-  // reconstructs the served volume exactly — no lost or double-counted
-  // launches under concurrent merging.
-  EXPECT_EQ(stats.report.stats.rays, total_queries);
+  // One ray per *searched* row on the unscheduled KNN path: rays plus the
+  // optimizer's deduped rows reconstruct the served volume exactly — no
+  // lost or double-counted launches under concurrent merging. (The
+  // jittered client queries rarely coincide, so deduped is usually zero;
+  // the invariant holds either way.)
+  EXPECT_EQ(stats.report.stats.rays + stats.report.queries_deduped, total_queries);
   // TimeBreakdown phases stay non-negative (and finite) under merging.
   const TimeBreakdown& time = stats.report.time;
   for (const double phase :

@@ -56,6 +56,45 @@ def index_timings(report):
     return timings
 
 
+def index_stage_metrics(report):
+    """{(case_name, metric_name): value} for serving.* per-stage metrics.
+
+    The serving cases publish their aggregate TimeBreakdown as metrics
+    named ``*stage.<phase>`` (plus ``*stage.launches``); pairing the two
+    reports' values attributes a serving delta to its phase — e.g. reorder
+    cost showing up in stage.opt against a larger win in stage.search.
+    """
+    metrics = {}
+    for case in report.get("cases", []):
+        if case.get("status") != "ok" or not case["name"].startswith("serving."):
+            continue
+        for metric in case.get("metrics", []):
+            if "stage." in metric["name"]:
+                metrics[(case["name"], metric["name"])] = float(metric["value"])
+    return metrics
+
+
+def print_stage_breakdown(baseline, current):
+    """Informational per-stage deltas for serving.* cases; never gates."""
+    base_metrics = index_stage_metrics(baseline)
+    cur_metrics = index_stage_metrics(current)
+    common = sorted(set(base_metrics) & set(cur_metrics))
+    if not common:
+        return
+    print()
+    print("serving per-stage breakdown (informational, not gated):")
+    print(f"{'case':<24} {'stage':<20} {'base':>12} {'cur':>12} {'delta':>8}")
+    for key in common:
+        base = base_metrics[key]
+        cur = cur_metrics[key]
+        delta = (cur - base) / base if base > 0 else 0.0
+        print(
+            f"{key[0]:<24} {key[1]:<20} {base:>12.5f} {cur:>12.5f} {delta:>+7.1%}"
+        )
+    for key in sorted(set(cur_metrics) - set(base_metrics)):
+        print(f"note: new stage metric not in baseline: {key[0]}/{key[1]}")
+
+
 def failed_cases(report):
     return [c["name"] for c in report.get("cases", []) if c.get("status") != "ok"]
 
@@ -176,6 +215,7 @@ def main():
     if improvements:
         print(f"{len(improvements)} timings improved past the threshold — "
               "consider refreshing bench/baseline.json")
+    print_stage_breakdown(baseline, current)
 
     if args.update_baseline:
         rewritten = dict(current)
