@@ -71,9 +71,10 @@ struct BatchOptimizerOptions {
   /// never results: dedup requires bitwise equality inside a cell.
   float dedup_cell_scale = 1.0f;
   /// Per-bin cap on merged rows: a request that would push an open bin
-  /// past the cap starts a fresh bin for the same key (bounds launch and
-  /// scratch size). 0 = unbounded — the dispatcher's tick caps already
-  /// bound the merged set.
+  /// past the cap closes it and opens a fresh bin for the same key
+  /// (bounds launch and scratch size). 0 = unbounded — no bin ever
+  /// closes early; the dispatcher's tick caps already bound the merged
+  /// set. Same contract as CloudConfig::max_bin_queries (service.hpp).
   std::size_t max_bin_queries = 0;
 };
 

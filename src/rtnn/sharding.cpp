@@ -1,0 +1,167 @@
+#include "rtnn/sharding.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "core/error.hpp"
+#include "core/flat_knn.hpp"
+#include "core/morton.hpp"
+#include "core/sort.hpp"
+
+namespace rtnn {
+
+std::uint32_t plan_shard_count(std::size_t points, std::size_t shard_threshold,
+                               std::uint32_t max_shards) {
+  if (shard_threshold == 0 || points <= shard_threshold) return 1;
+  const std::size_t wanted = (points + shard_threshold - 1) / shard_threshold;
+  const std::size_t cap = max_shards == 0 ? 1 : max_shards;
+  return static_cast<std::uint32_t>(std::min<std::size_t>(wanted, cap));
+}
+
+ShardPlan plan_shards(std::span<const Vec3> points, std::uint32_t num_shards) {
+  RTNN_CHECK(!points.empty(), "cannot shard an empty cloud");
+  const std::size_t n = points.size();
+  num_shards = static_cast<std::uint32_t>(
+      std::min<std::size_t>(std::max<std::uint32_t>(num_shards, 1), n));
+
+  ShardPlan plan;
+  plan.point_count = n;
+  for (const Vec3& p : points) plan.cloud_bounds.grow(p);
+
+  if (num_shards == 1) {
+    // One shard keeps the identity order, so a ShardedBackend over it
+    // delegates byte-identically to the inner backend (local ids == the
+    // caller's ids; no remap, no gather).
+    ShardPlan::Shard shard;
+    shard.point_ids.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      shard.point_ids[i] = static_cast<std::uint32_t>(i);
+    }
+    shard.bounds = plan.cloud_bounds;
+    plan.shards.push_back(std::move(shard));
+    return plan;
+  }
+
+  // Morton-sort the ids (the LBVH/scheduler ordering), then cut the
+  // sorted sequence into contiguous near-equal runs: each run is a
+  // compact Z-order region.
+  std::vector<std::uint64_t> codes(n);
+  std::vector<std::uint32_t> ids(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    codes[i] = morton3d_63(points[i], plan.cloud_bounds);
+    ids[i] = static_cast<std::uint32_t>(i);
+  }
+  radix_sort_pairs(codes, ids);
+
+  plan.shards.resize(num_shards);
+  const std::size_t base = n / num_shards;
+  const std::size_t extra = n % num_shards;
+  std::size_t next = 0;
+  for (std::uint32_t s = 0; s < num_shards; ++s) {
+    const std::size_t count = base + (s < extra ? 1 : 0);
+    ShardPlan::Shard& shard = plan.shards[s];
+    shard.point_ids.assign(ids.begin() + static_cast<std::ptrdiff_t>(next),
+                           ids.begin() + static_cast<std::ptrdiff_t>(next + count));
+    for (const std::uint32_t id : shard.point_ids) shard.bounds.grow(points[id]);
+    next += count;
+  }
+  return plan;
+}
+
+float aabb_distance2(const Aabb& box, const Vec3& p) {
+  if (box.empty()) return std::numeric_limits<float>::infinity();
+  float d2 = 0.0f;
+  for (int axis = 0; axis < 3; ++axis) {
+    const float v = p[axis];
+    const float d = v < box.lo[axis] ? box.lo[axis] - v
+                    : v > box.hi[axis] ? v - box.hi[axis]
+                                       : 0.0f;
+    d2 += d * d;
+  }
+  return d2;
+}
+
+ShardRoute route_queries(const ShardPlan& plan, std::span<const Vec3> queries,
+                         float radius) {
+  ShardRoute route;
+  route.rows.resize(plan.shards.size());
+  const float r2 = radius * radius;
+  for (std::size_t s = 0; s < plan.shards.size(); ++s) {
+    const Aabb& bounds = plan.shards[s].bounds;
+    std::vector<std::uint32_t>& rows = route.rows[s];
+    for (std::size_t q = 0; q < queries.size(); ++q) {
+      if (aabb_distance2(bounds, queries[q]) <= r2) {
+        rows.push_back(static_cast<std::uint32_t>(q));
+      }
+    }
+    route.fanout += rows.size();
+  }
+  return route;
+}
+
+NeighborResult gather_shard_results(std::span<const Vec3> points,
+                                    std::span<const Vec3> queries,
+                                    const SearchParams& params,
+                                    std::span<const ShardPartial> partials) {
+  const std::size_t num_queries = queries.size();
+  const std::uint32_t k = params.k;
+
+  if (!params.store_indices) {
+    // Counts only: shards partition the points, so per-query counts sum;
+    // the clamp at K reproduces the unsharded truncation exactly — a
+    // shard only reports K when it already holds >= K in-radius points,
+    // in which case the true total is >= K too.
+    NeighborResult merged(num_queries, k, /*store_indices=*/false);
+    for (const ShardPartial& partial : partials) {
+      for (std::size_t i = 0; i < partial.rows->size(); ++i) {
+        std::uint32_t& count = merged.count_ref((*partial.rows)[i]);
+        count = std::min<std::uint32_t>(k, count + partial.result.count(i));
+      }
+    }
+    return merged;
+  }
+
+  if (params.mode == SearchMode::kKnn) {
+    // Global top-K = top-K of the union of per-shard top-Ks (every
+    // global winner is among its own shard's K nearest). Distances are
+    // recomputed from the global cloud; extract() orders each row
+    // ascending by (distance, id).
+    FlatKnnHeaps heaps(num_queries, k);
+    for (const ShardPartial& partial : partials) {
+      for (std::size_t i = 0; i < partial.rows->size(); ++i) {
+        const std::uint32_t row = (*partial.rows)[i];
+        for (const std::uint32_t local : partial.result.neighbors(i)) {
+          const std::uint32_t global = (*partial.point_ids)[local];
+          heaps.push(row, distance2(points[global], queries[row]), global);
+        }
+      }
+    }
+    return heaps.extract(/*store_indices=*/true);
+  }
+
+  // Range: the per-shard sets are disjoint, so the union is their
+  // concatenation; canonical ascending-id order makes the merged result
+  // deterministic regardless of shard count (and an exact set whenever
+  // K is not exceeded — which K survive a truncation is backend-defined,
+  // per the SearchBackend contract).
+  std::vector<std::vector<std::uint32_t>> per_query(num_queries);
+  for (const ShardPartial& partial : partials) {
+    for (std::size_t i = 0; i < partial.rows->size(); ++i) {
+      std::vector<std::uint32_t>& sink = per_query[(*partial.rows)[i]];
+      for (const std::uint32_t local : partial.result.neighbors(i)) {
+        sink.push_back((*partial.point_ids)[local]);
+      }
+    }
+  }
+  NeighborResult merged(num_queries, k, /*store_indices=*/true);
+  for (std::size_t q = 0; q < num_queries; ++q) {
+    std::vector<std::uint32_t>& ids = per_query[q];
+    std::sort(ids.begin(), ids.end());
+    for (const std::uint32_t id : ids) {
+      if (merged.record(q, id) == k) break;
+    }
+  }
+  return merged;
+}
+
+}  // namespace rtnn

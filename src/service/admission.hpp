@@ -1,0 +1,83 @@
+// Admission control for the serving layer: per-cloud token buckets and
+// queue-depth caps.
+//
+// Overload policy (see service.hpp for the full error-state contract):
+// a request that arrives when its cloud's token bucket is empty, or when
+// the cloud already has max_queue_depth requests pending, is *shed* —
+// rejected immediately at submit() with RejectReason::kAdmission instead
+// of being queued. Shedding at the door is what keeps the p99 of the
+// admitted requests flat under overload: the dispatcher's queue never
+// grows beyond what the configured rate can drain, so admitted requests
+// wait one batching tick, not an unbounded backlog.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cstddef>
+
+namespace rtnn::service {
+
+/// Per-cloud admission policy, fixed at register_cloud(). Default: off
+/// (every request is admitted and queued).
+struct AdmissionOptions {
+  /// Sustained admission rate in requests/second; 0 disables the bucket.
+  double tokens_per_second = 0.0;
+  /// Bucket capacity: how many requests a quiet cloud can absorb at
+  /// once before the sustained rate gates (the burst allowance).
+  double burst = 64.0;
+  /// Cap on a cloud's pending (admitted, unserved) requests; one more
+  /// is shed. 0 = unbounded.
+  std::size_t max_queue_depth = 0;
+};
+
+/// Classic token bucket over a caller-supplied clock reading, so unit
+/// tests drive it deterministically (the service passes
+/// steady_clock::now()). Not thread-safe: the service serializes access
+/// under its per-cloud admission lock.
+class TokenBucket {
+ public:
+  TokenBucket() = default;
+  TokenBucket(double tokens_per_second, double burst)
+      : rate_(tokens_per_second), burst_(burst), tokens_(burst) {}
+
+  /// True while the bucket never gates (rate 0 = admission off).
+  bool unlimited() const { return rate_ <= 0.0; }
+
+  /// Takes one token if available at `now`; false = shed. Refills at
+  /// `rate_` tokens/second since the previous call, capped at `burst_`.
+  bool try_take(std::chrono::steady_clock::time_point now) {
+    if (unlimited()) return true;
+    refill(now);
+    if (tokens_ < 1.0) return false;
+    tokens_ -= 1.0;
+    return true;
+  }
+
+  /// Tokens available at `now` (refills as a side effect).
+  double available(std::chrono::steady_clock::time_point now) {
+    refill(now);
+    return tokens_;
+  }
+
+ private:
+  void refill(std::chrono::steady_clock::time_point now) {
+    if (!started_) {
+      started_ = true;
+      last_ = now;
+      return;
+    }
+    const double elapsed = std::chrono::duration<double>(now - last_).count();
+    if (elapsed > 0.0) {
+      tokens_ = std::min(burst_, tokens_ + elapsed * rate_);
+      last_ = now;
+    }
+  }
+
+  double rate_ = 0.0;
+  double burst_ = 0.0;
+  double tokens_ = 0.0;
+  std::chrono::steady_clock::time_point last_{};
+  bool started_ = false;
+};
+
+}  // namespace rtnn::service

@@ -2,28 +2,107 @@
 
 #include <algorithm>
 #include <exception>
+#include <utility>
 
-#include "core/error.hpp"
 #include "engine/registry.hpp"
+#include "engine/sharded_backend.hpp"
 #include "rtnn/batch_optimizer.hpp"
 
 namespace rtnn::service {
 
 namespace detail {
 
+/// One published index version of one cloud: `backend` is searched only
+/// by the dispatcher thread, never mutated by writers (they clone the
+/// master instead), so in-flight batches and snapshot publishes never
+/// share mutable state.
+struct Snapshot {
+  std::uint64_t version = 0;
+  std::unique_ptr<engine::SearchBackend> backend;
+};
+
 /// Everything one in-flight request carries between submit() and get().
 /// The submitter owns a reference through the Ticket; the dispatcher
 /// fills outcome/error and fires `done`. After the signal the dispatcher
 /// never touches the state again, so the waiter reads without a lock.
 struct RequestState {
+  std::shared_ptr<CloudState> cloud;
   std::vector<Vec3> queries;  // copied at submit: the caller's span may die
   SearchParams params;
   RequestOutcome outcome;
   std::string error;  // non-empty when the request failed
+  RejectReason reason = RejectReason::kBackend;
   CompletionEvent done;
 };
 
+/// One tenant of the registry. Locks, never taken together except in the
+/// stated order: registry_mutex_ is never held while taking a cloud's
+/// update_mutex (eviction collects candidates under the registry lock,
+/// then try-locks victims after releasing it), so registry scans and
+/// per-cloud writers cannot deadlock.
+struct CloudState {
+  std::string name;
+  CloudConfig config;
+
+  /// Writer state: the authoritative points and the master backend that
+  /// owns the index lineage (null while the cloud is not resident —
+  /// evicted or not yet built). Guarded by update_mutex; never searched
+  /// by readers.
+  std::mutex update_mutex;
+  std::vector<Vec3> points;
+  std::unique_ptr<engine::SearchBackend> master;
+
+  /// The published snapshot readers pin (swapped atomically under its
+  /// own mutex so publishes never wait on dispatches). Null while not
+  /// resident.
+  mutable std::mutex snapshot_mutex;
+  std::shared_ptr<Snapshot> snapshot;
+
+  std::atomic<std::uint64_t> version{0};   // bumped by every update_points()
+  std::atomic<bool> resident{false};       // a built index currently exists
+  std::atomic<bool> dropped{false};
+  std::atomic<std::uint64_t> last_used{0}; // LRU tick (service use_clock_)
+  std::atomic<std::size_t> pending{0};     // admitted, not yet signaled
+
+  std::mutex admission_mutex;
+  TokenBucket bucket;
+
+  mutable std::mutex stats_mutex;
+  ServiceStats stats;
+  /// Params of the most recent successful dispatch — what update_points()
+  /// warms the refreshed index with (guarded by stats_mutex).
+  std::optional<SearchParams> warm_params;
+};
+
 }  // namespace detail
+
+namespace {
+
+using detail::CloudState;
+using detail::RequestState;
+using detail::Snapshot;
+
+/// The backend a cloud's config asks for: the named engine backend,
+/// wrapped in a ShardedBackend when the cloud is over its threshold.
+std::unique_ptr<engine::SearchBackend> make_cloud_backend(const CloudConfig& config,
+                                                          std::size_t point_count) {
+  if (config.shard_threshold > 0 && point_count > config.shard_threshold) {
+    engine::ShardingOptions sharding;
+    sharding.shard_threshold = config.shard_threshold;
+    sharding.max_shards = config.max_shards;
+    return std::make_unique<engine::ShardedBackend>(config.backend, sharding);
+  }
+  return engine::make_backend(config.backend);
+}
+
+}  // namespace
+
+// --- CloudHandle -------------------------------------------------------------
+
+const std::string& CloudHandle::name() const {
+  RTNN_CHECK(state_ != nullptr, "empty cloud handle");
+  return state_->name;
+}
 
 // --- Ticket ------------------------------------------------------------------
 
@@ -45,54 +124,348 @@ bool SearchService::Ticket::wait_for(std::chrono::nanoseconds timeout) const {
 RequestOutcome SearchService::Ticket::get() {
   RTNN_CHECK(state_ != nullptr, "empty ticket");
   state_->done.wait();
-  if (!state_->error.empty()) throw Error(state_->error);
+  if (!state_->error.empty()) throw ServiceError(state_->reason, state_->error);
   return std::move(state_->outcome);
 }
 
-// --- SearchService -----------------------------------------------------------
+std::optional<RequestOutcome> SearchService::Ticket::try_get() {
+  RTNN_CHECK(state_ != nullptr, "empty ticket");
+  if (!state_->done.signaled()) return std::nullopt;
+  if (!state_->error.empty()) throw ServiceError(state_->reason, state_->error);
+  return std::move(state_->outcome);
+}
+
+// --- Construction / lifecycle ------------------------------------------------
+
+SearchService::SearchService(const ServiceConfig& config) : config_(config) {
+  RTNN_CHECK(config_.max_batch_queries > 0 && config_.max_batch_requests > 0,
+             "batch caps must be positive");
+  dispatcher_ = std::thread([this] { dispatch_loop(); });
+}
 
 SearchService::SearchService(std::span<const Vec3> points,
                              const ServiceOptions& options)
-    : options_(options) {
-  RTNN_CHECK(!points.empty(), "a service needs points");
-  RTNN_CHECK(options_.max_batch_queries > 0 && options_.max_batch_requests > 0,
-             "batch caps must be positive");
-  master_ = engine::make_backend(options_.backend);
-  RTNN_CHECK(master_->caps().snapshot,
-             "backend cannot snapshot (caps().snapshot is false)");
-  master_->set_index_persistence(true);
-  master_->set_points(points);
-  auto snap = std::make_shared<Snapshot>();
-  snap->version = 0;
-  snap->backend = master_->snapshot();
-  {
-    std::lock_guard<std::mutex> lock(snapshot_mutex_);
-    snapshot_ = std::move(snap);
-  }
-  dispatcher_ = std::thread([this] { dispatch_loop(); });
+    : SearchService(options.service_config()) {
+  // The single-cloud compatibility form: a registry of size one whose
+  // tenant keeps the historical eager-build semantics.
+  CloudHandle handle = register_cloud("default", points, options.cloud_config());
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  default_ = handle.state_;
 }
 
 SearchService::~SearchService() { shutdown(); }
 
 void SearchService::shutdown() {
-  // The whole sequence runs under the writer lock: concurrent shutdown
-  // calls serialize (the loser finds the thread already joined), and no
-  // writer can publish into a closing service. The dispatcher never
-  // takes update_mutex_, so joining under it cannot deadlock.
-  std::lock_guard<std::mutex> lock(update_mutex_);
-  stopped_ = true;
+  // Serialized so concurrent shutdown calls cannot both join; the
+  // dispatcher never touches lifecycle_mutex_, so joining under it
+  // cannot deadlock. Requests already queued are served by the drain.
+  std::lock_guard<std::mutex> lock(lifecycle_mutex_);
+  stopped_.store(true);
   queue_.close();  // dispatcher drains what is queued, then exits
   if (dispatcher_.joinable()) dispatcher_.join();
 }
 
-SearchService::Ticket SearchService::submit(std::span<const Vec3> queries,
-                                            const SearchParams& params) {
+// --- Registry ----------------------------------------------------------------
+
+CloudHandle SearchService::register_cloud(const std::string& name,
+                                          std::span<const Vec3> points,
+                                          const CloudConfig& config) {
+  RTNN_CHECK(!name.empty(), "a cloud needs a name");
+  RTNN_CHECK(!points.empty(), "a cloud needs points");
+  RTNN_CHECK(!stopped_.load(), "service is shut down");
+  {
+    // Early duplicate check so a losing caller fails before paying for
+    // a build; the insert below re-checks under the same lock.
+    std::lock_guard<std::mutex> lock(registry_mutex_);
+    for (const CloudPtr& cloud : clouds_) {
+      RTNN_CHECK(cloud->name != name, "cloud '" + name + "' already registered");
+    }
+  }
+
+  auto state = std::make_shared<CloudState>();
+  state->name = name;
+  state->config = config;
+  state->points.assign(points.begin(), points.end());
+  state->bucket = TokenBucket(config.admission.tokens_per_second,
+                              config.admission.burst);
+  // Validate the backend choice now, whether or not the build is
+  // deferred: an unknown name or a snapshot-less backend must fail at
+  // registration, not at the first request.
+  RTNN_CHECK(make_cloud_backend(config, points.size())->caps().snapshot,
+             "backend cannot snapshot (caps().snapshot is false)");
+
+  if (config.build_on_register) {
+    // The state is not yet visible to any other thread, so this lock is
+    // uncontended; build_cloud_locked still expects it held.
+    std::lock_guard<std::mutex> lock(state->update_mutex);
+    build_cloud_locked(*state);
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(registry_mutex_);
+    for (const CloudPtr& cloud : clouds_) {
+      RTNN_CHECK(cloud->name != name, "cloud '" + name + "' already registered");
+    }
+    clouds_.push_back(state);
+  }
+  state->last_used.store(use_clock_.fetch_add(1) + 1);
+  enforce_residency_cap(state.get());
+  return CloudHandle(state);
+}
+
+void SearchService::drop_cloud(const std::string& name) {
+  CloudPtr state;
+  {
+    std::lock_guard<std::mutex> lock(registry_mutex_);
+    auto it = std::find_if(clouds_.begin(), clouds_.end(),
+                           [&](const CloudPtr& c) { return c->name == name; });
+    RTNN_CHECK(it != clouds_.end(), "unknown cloud: " + name);
+    state = *it;
+    clouds_.erase(it);
+    if (default_ == state) default_.reset();
+  }
+  // Mark first: requests already queued are rejected by the dispatcher
+  // (kShutdown), new submits through stale handles throw. Then release
+  // the index — outside the registry lock, per the locking order.
+  state->dropped.store(true);
+  {
+    std::lock_guard<std::mutex> lock(state->update_mutex);
+    state->master.reset();
+    std::lock_guard<std::mutex> snap_lock(state->snapshot_mutex);
+    state->snapshot.reset();
+    state->resident.store(false);
+  }
+}
+
+std::vector<std::string> SearchService::list_clouds() const {
+  std::vector<std::string> names;
+  {
+    std::lock_guard<std::mutex> lock(registry_mutex_);
+    names.reserve(clouds_.size());
+    for (const CloudPtr& cloud : clouds_) names.push_back(cloud->name);
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+CloudHandle SearchService::cloud(const std::string& name) const {
+  return CloudHandle(resolve(name));
+}
+
+std::size_t SearchService::resident_clouds() const {
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  std::size_t count = 0;
+  for (const CloudPtr& cloud : clouds_) {
+    if (cloud->resident.load()) ++count;
+  }
+  return count;
+}
+
+SearchService::CloudPtr SearchService::default_cloud() const {
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  RTNN_CHECK(default_ != nullptr,
+             "no default cloud (multi-tenant service): address a CloudHandle");
+  return default_;
+}
+
+SearchService::CloudPtr SearchService::resolve(const CloudHandle& handle) const {
+  RTNN_CHECK(handle.state_ != nullptr, "empty cloud handle");
+  return handle.state_;
+}
+
+SearchService::CloudPtr SearchService::resolve(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  for (const CloudPtr& cloud : clouds_) {
+    if (cloud->name == name) return cloud;
+  }
+  throw Error("unknown cloud: " + std::string(name));
+}
+
+// --- Residency ---------------------------------------------------------------
+
+void SearchService::build_cloud_locked(CloudState& cloud) {
+  cloud.master = make_cloud_backend(cloud.config, cloud.points.size());
+  RTNN_CHECK(cloud.master->caps().snapshot,
+             "backend cannot snapshot (caps().snapshot is false)");
+  cloud.master->set_index_persistence(true);
+  cloud.master->set_points(cloud.points);
+
+  NeighborSearch::Report warm_report;
+  if (cloud.config.warmup.has_value()) {
+    const Vec3 probe = cloud.points[0];
+    (void)cloud.master->search(std::span<const Vec3>(&probe, 1),
+                               *cloud.config.warmup, &warm_report);
+  }
+
+  auto snap = std::make_shared<Snapshot>();
+  snap->version = cloud.version.load();
+  snap->backend = cloud.master->snapshot();
+  {
+    std::lock_guard<std::mutex> lock(cloud.snapshot_mutex);
+    cloud.snapshot = std::move(snap);
+  }
+  cloud.resident.store(true);
+  {
+    std::lock_guard<std::mutex> lock(cloud.stats_mutex);
+    ++cloud.stats.builds;
+    cloud.stats.report += warm_report;
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.builds;
+    stats_.report += warm_report;
+  }
+}
+
+void SearchService::enforce_residency_cap(const CloudState* keep) {
+  if (config_.max_resident_clouds == 0) return;
+  std::vector<CloudPtr> candidates;
+  std::size_t resident = 0;
+  {
+    std::lock_guard<std::mutex> lock(registry_mutex_);
+    for (const CloudPtr& cloud : clouds_) {
+      if (!cloud->resident.load()) continue;
+      ++resident;
+      if (cloud.get() != keep) candidates.push_back(cloud);
+    }
+  }
+  // Oldest last_used first: evict the coldest index until the cap holds.
+  std::sort(candidates.begin(), candidates.end(),
+            [](const CloudPtr& a, const CloudPtr& b) {
+              return a->last_used.load() < b->last_used.load();
+            });
+  for (const CloudPtr& victim : candidates) {
+    if (resident <= config_.max_resident_clouds) break;
+    // try_lock: a victim mid-update or mid-build is hot, not cold — skip
+    // it (and avoid any cross-cloud lock cycle).
+    std::unique_lock<std::mutex> lock(victim->update_mutex, std::try_to_lock);
+    if (!lock.owns_lock() || !victim->resident.load()) continue;
+    victim->master.reset();
+    {
+      std::lock_guard<std::mutex> snap_lock(victim->snapshot_mutex);
+      victim->snapshot.reset();  // in-flight pins keep their own reference
+    }
+    victim->resident.store(false);
+    --resident;
+    {
+      std::lock_guard<std::mutex> stats_lock(victim->stats_mutex);
+      ++victim->stats.evictions;
+    }
+    std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+    ++stats_.evictions;
+  }
+}
+
+std::shared_ptr<Snapshot> SearchService::pin_snapshot(CloudState& cloud) {
+  {
+    std::lock_guard<std::mutex> lock(cloud.snapshot_mutex);
+    if (cloud.snapshot != nullptr) return cloud.snapshot;
+  }
+  // Not resident: build on demand on the dispatcher's thread, then evict
+  // whatever the build pushed past the cap.
+  std::shared_ptr<Snapshot> snap;
+  {
+    std::lock_guard<std::mutex> lock(cloud.update_mutex);
+    {
+      std::lock_guard<std::mutex> snap_lock(cloud.snapshot_mutex);
+      snap = cloud.snapshot;  // a racing writer may have built already
+    }
+    if (snap == nullptr) {
+      build_cloud_locked(cloud);
+      std::lock_guard<std::mutex> snap_lock(cloud.snapshot_mutex);
+      snap = cloud.snapshot;
+    }
+  }
+  enforce_residency_cap(&cloud);
+  return snap;
+}
+
+// --- Request path ------------------------------------------------------------
+
+SearchService::Ticket SearchService::submit_to(const CloudPtr& cloud,
+                                               std::span<const Vec3> queries,
+                                               const SearchParams& params) {
   RTNN_CHECK(!queries.empty(), "a request needs queries");
-  auto state = std::make_shared<detail::RequestState>();
+  if (stopped_.load()) throw ServiceError(RejectReason::kShutdown,
+                                          "service is shut down");
+  if (cloud->dropped.load()) {
+    throw ServiceError(RejectReason::kShutdown,
+                       "cloud '" + cloud->name + "' was dropped");
+  }
+
+  auto state = std::make_shared<RequestState>();
+  state->cloud = cloud;
   state->queries.assign(queries.begin(), queries.end());
   state->params = params;
-  RTNN_CHECK(queue_.push(state), "service is shut down");
+
+  // Admission: shed at the door instead of queueing, so overload cannot
+  // grow the dispatcher's backlog. The ticket comes back already
+  // rejected — get() throws the typed kAdmission error.
+  const AdmissionOptions& admission = cloud->config.admission;
+  const char* refused = nullptr;
+  if (admission.max_queue_depth > 0 &&
+      cloud->pending.load() >= admission.max_queue_depth) {
+    refused = "queue depth cap";
+  } else {
+    std::lock_guard<std::mutex> lock(cloud->admission_mutex);
+    if (!cloud->bucket.try_take(std::chrono::steady_clock::now())) {
+      refused = "token bucket";
+    }
+  }
+  if (refused != nullptr) {
+    state->reason = RejectReason::kAdmission;
+    state->error = "request shed by admission control (" + std::string(refused) +
+                   ") on cloud '" + cloud->name + "'";
+    count_shed(*cloud);
+    state->done.signal();
+    return Ticket(std::move(state));
+  }
+
+  cloud->pending.fetch_add(1);
+  if (!queue_.push(state)) {
+    cloud->pending.fetch_sub(1);
+    throw ServiceError(RejectReason::kShutdown, "service is shut down");
+  }
+  cloud->last_used.store(use_clock_.fetch_add(1) + 1);
   return Ticket(std::move(state));
+}
+
+void SearchService::count_shed(CloudState& cloud) {
+  {
+    std::lock_guard<std::mutex> lock(cloud.stats_mutex);
+    ++cloud.stats.shed;
+  }
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  ++stats_.shed;
+}
+
+SearchService::Ticket SearchService::submit(const CloudHandle& cloud,
+                                            std::span<const Vec3> queries,
+                                            const SearchParams& params) {
+  return submit_to(resolve(cloud), queries, params);
+}
+
+SearchService::Ticket SearchService::submit(std::string_view cloud,
+                                            std::span<const Vec3> queries,
+                                            const SearchParams& params) {
+  return submit_to(resolve(cloud), queries, params);
+}
+
+SearchService::Ticket SearchService::submit(std::span<const Vec3> queries,
+                                            const SearchParams& params) {
+  return submit_to(default_cloud(), queries, params);
+}
+
+RequestOutcome SearchService::query(const CloudHandle& cloud,
+                                    std::span<const Vec3> queries,
+                                    const SearchParams& params) {
+  return submit(cloud, queries, params).get();
+}
+
+RequestOutcome SearchService::query(std::string_view cloud,
+                                    std::span<const Vec3> queries,
+                                    const SearchParams& params) {
+  return submit(cloud, queries, params).get();
 }
 
 RequestOutcome SearchService::query(std::span<const Vec3> queries,
@@ -100,67 +473,117 @@ RequestOutcome SearchService::query(std::span<const Vec3> queries,
   return submit(queries, params).get();
 }
 
-void SearchService::update_points(std::span<const Vec3> points) {
+// --- Writer path -------------------------------------------------------------
+
+void SearchService::update_points(const CloudHandle& cloud,
+                                  std::span<const Vec3> points) {
   RTNN_CHECK(!points.empty(), "an update needs points");
-  std::lock_guard<std::mutex> lock(update_mutex_);
-  RTNN_CHECK(!stopped_, "service is shut down");
-
-  // The master absorbs the motion: same count = a move dynamic backends
-  // refit; a resize = a fresh upload (new index lineage, like the
-  // DynamicSearchSession resize fallback).
-  if (points.size() == master_->point_count()) {
-    master_->update_points(points);
-  } else {
-    master_->set_points(points);
+  const CloudPtr state = resolve(cloud);
+  if (stopped_.load()) throw ServiceError(RejectReason::kShutdown,
+                                          "service is shut down");
+  if (state->dropped.load()) {
+    throw ServiceError(RejectReason::kShutdown,
+                       "cloud '" + state->name + "' was dropped");
   }
 
-  // Resolve the deferred index work here, on the writer's thread: a
-  // one-probe search drives the refit-vs-rebuild policy (and rebuilds the
-  // backend's auxiliary caches), so the published snapshot is warm and
-  // the read path never pays for an update. Before the first dispatch no
-  // params are known — the first batch on the new snapshot syncs lazily.
-  std::optional<SearchParams> warm;
-  {
-    std::lock_guard<std::mutex> stats_lock(stats_mutex_);
-    warm = warm_params_;
-  }
+  std::lock_guard<std::mutex> lock(state->update_mutex);
+  state->points.assign(points.begin(), points.end());
+
   NeighborSearch::Report warm_report;
-  if (warm.has_value()) {
-    const Vec3 probe = points[0];
-    (void)master_->search(std::span<const Vec3>(&probe, 1), *warm, &warm_report);
+  if (state->master != nullptr) {
+    // The master absorbs the motion: same count = a move dynamic
+    // backends refit; a resize = a fresh upload (new index lineage,
+    // like the DynamicSearchSession resize fallback).
+    if (points.size() == state->master->point_count()) {
+      state->master->update_points(points);
+    } else {
+      state->master->set_points(points);
+    }
+
+    // Resolve the deferred index work here, on the writer's thread: a
+    // one-probe search drives the refit-vs-rebuild policy (and rebuilds
+    // the backend's auxiliary caches), so the published snapshot is warm
+    // and the read path never pays for an update. Before the first
+    // dispatch no params are known — the first batch on the new
+    // snapshot syncs lazily.
+    std::optional<SearchParams> warm;
+    {
+      std::lock_guard<std::mutex> stats_lock(state->stats_mutex);
+      warm = state->warm_params;
+    }
+    if (warm.has_value()) {
+      const Vec3 probe = points[0];
+      (void)state->master->search(std::span<const Vec3>(&probe, 1), *warm,
+                                  &warm_report);
+    }
+
+    auto snap = std::make_shared<Snapshot>();
+    snap->version = state->version.fetch_add(1) + 1;
+    snap->backend = state->master->snapshot();
+    std::lock_guard<std::mutex> snap_lock(state->snapshot_mutex);
+    state->snapshot = std::move(snap);
+  } else {
+    // Non-resident (deferred or evicted): the stored points are the
+    // whole truth, and the next build publishes this version.
+    state->version.fetch_add(1);
   }
 
-  auto snap = std::make_shared<Snapshot>();
-  snap->backend = master_->snapshot();
   {
-    std::lock_guard<std::mutex> snap_lock(snapshot_mutex_);
-    snap->version = snapshot_->version + 1;
-    snapshot_ = std::move(snap);
+    std::lock_guard<std::mutex> stats_lock(state->stats_mutex);
+    ++state->stats.updates;
+    state->stats.report += warm_report;
   }
   {
     std::lock_guard<std::mutex> stats_lock(stats_mutex_);
     ++stats_.updates;
     stats_.report += warm_report;  // refit/rebuild increments land here
   }
+  state->last_used.store(use_clock_.fetch_add(1) + 1);
 }
 
-std::shared_ptr<SearchService::Snapshot> SearchService::current_snapshot() const {
-  std::lock_guard<std::mutex> lock(snapshot_mutex_);
-  return snapshot_;
+void SearchService::update_points(std::string_view cloud,
+                                  std::span<const Vec3> points) {
+  update_points(CloudHandle(resolve(cloud)), points);
+}
+
+void SearchService::update_points(std::span<const Vec3> points) {
+  update_points(CloudHandle(default_cloud()), points);
+}
+
+// --- Introspection -----------------------------------------------------------
+
+std::uint64_t SearchService::snapshot_version(const CloudHandle& cloud) const {
+  return resolve(cloud)->version.load();
 }
 
 std::uint64_t SearchService::snapshot_version() const {
-  return current_snapshot()->version;
+  return default_cloud()->version.load();
+}
+
+std::size_t SearchService::point_count(const CloudHandle& cloud) const {
+  const CloudPtr state = resolve(cloud);
+  std::lock_guard<std::mutex> lock(state->update_mutex);
+  return state->points.size();
 }
 
 std::size_t SearchService::point_count() const {
-  return current_snapshot()->backend->point_count();
+  const CloudPtr state = default_cloud();
+  std::lock_guard<std::mutex> lock(state->update_mutex);
+  return state->points.size();
+}
+
+ServiceStats SearchService::stats(const CloudHandle& cloud) const {
+  const CloudPtr state = resolve(cloud);
+  std::lock_guard<std::mutex> lock(state->stats_mutex);
+  return state->stats;
 }
 
 ServiceStats SearchService::stats() const {
   std::lock_guard<std::mutex> lock(stats_mutex_);
   return stats_;
 }
+
+// --- Dispatcher --------------------------------------------------------------
 
 void SearchService::dispatch_loop() {
   while (true) {
@@ -171,9 +594,9 @@ void SearchService::dispatch_loop() {
     // company; the batch also dispatches as soon as a cap fills.
     std::vector<RequestPtr> batch{std::move(*first)};
     std::size_t total = batch.front()->queries.size();
-    const auto deadline = std::chrono::steady_clock::now() + options_.max_delay;
-    while (batch.size() < options_.max_batch_requests &&
-           total < options_.max_batch_queries) {
+    const auto deadline = std::chrono::steady_clock::now() + config_.max_delay;
+    while (batch.size() < config_.max_batch_requests &&
+           total < config_.max_batch_queries) {
       const auto now = std::chrono::steady_clock::now();
       if (now >= deadline) break;
       std::optional<RequestPtr> next = queue_.pop_for(deadline - now);
@@ -182,37 +605,100 @@ void SearchService::dispatch_loop() {
       batch.push_back(std::move(*next));
     }
 
-    if (options_.batch_reorder) {
-      // The optimizer path: one bin/reorder/dedup pass over the whole
-      // tick, one launch per homogeneous bin.
-      dispatch_optimized(batch);
-      continue;
-    }
-
-    // The arrival-order path: coalesce requests whose answer-shaping
-    // params agree (batch_key — the one definition the optimizer's
-    // splitter shares); incompatible requests still dispatch this tick,
-    // as their own groups, in arrival order.
-    std::vector<std::vector<RequestPtr>> groups;
+    // One tick may span tenants: requests group per cloud (arrival order
+    // preserved within each), and every cloud-group dispatches against
+    // its own pinned snapshot.
+    std::vector<std::pair<CloudPtr, std::vector<RequestPtr>>> by_cloud;
     for (RequestPtr& request : batch) {
-      auto fits = std::find_if(groups.begin(), groups.end(), [&](const auto& g) {
-        return g.front()->params.batch_key() == request->params.batch_key();
+      const CloudPtr& cloud = request->cloud;
+      auto fits = std::find_if(by_cloud.begin(), by_cloud.end(), [&](const auto& g) {
+        return g.first == cloud;
       });
-      if (fits == groups.end()) {
-        groups.emplace_back().push_back(std::move(request));
+      if (fits == by_cloud.end()) {
+        by_cloud.emplace_back(cloud, std::vector<RequestPtr>{}).second.push_back(
+            std::move(request));
       } else {
-        fits->push_back(std::move(request));
+        fits->second.push_back(std::move(request));
       }
     }
-    for (const std::vector<RequestPtr>& group : groups) dispatch_group(group);
+    for (const auto& [cloud, group] : by_cloud) dispatch_cloud(cloud, group);
   }
 }
 
-void SearchService::dispatch_group(const std::vector<RequestPtr>& group) {
-  // Pin the snapshot current *now*: a concurrent update_points() publishes
-  // the next version without disturbing this batch.
-  const std::shared_ptr<Snapshot> snap = current_snapshot();
+void SearchService::reject(const RequestPtr& request, RejectReason reason,
+                           const std::string& message) {
+  request->reason = reason;
+  request->error = message;
+  request->done.signal();
+}
 
+void SearchService::dispatch_cloud(const CloudPtr& cloud,
+                                   const std::vector<RequestPtr>& group) {
+  if (cloud->dropped.load()) {
+    // drop_cloud() retired the tenant while these were queued: reject
+    // the leftovers instead of serving from a released index.
+    for (const RequestPtr& request : group) {
+      cloud->pending.fetch_sub(1);
+      reject(request, RejectReason::kShutdown,
+             "cloud '" + cloud->name + "' was dropped");
+    }
+    {
+      std::lock_guard<std::mutex> lock(cloud->stats_mutex);
+      cloud->stats.requests += group.size();
+    }
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    stats_.requests += group.size();
+    return;
+  }
+
+  std::shared_ptr<Snapshot> snap;
+  try {
+    snap = pin_snapshot(*cloud);  // builds on demand when not resident
+  } catch (const std::exception& e) {
+    for (const RequestPtr& request : group) {
+      cloud->pending.fetch_sub(1);
+      reject(request, RejectReason::kBackend, e.what());
+    }
+    {
+      std::lock_guard<std::mutex> lock(cloud->stats_mutex);
+      cloud->stats.requests += group.size();
+    }
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    stats_.requests += group.size();
+    return;
+  }
+  cloud->last_used.store(use_clock_.fetch_add(1) + 1);
+
+  if (cloud->config.batch_reorder) {
+    // The optimizer path: one bin/reorder/dedup pass over the cloud's
+    // whole tick, one launch per homogeneous bin.
+    dispatch_optimized(*cloud, snap, group);
+    return;
+  }
+
+  // The arrival-order path: coalesce requests whose answer-shaping
+  // params agree (batch_key — the one definition the optimizer's
+  // splitter shares); incompatible requests still dispatch this tick,
+  // as their own groups, in arrival order.
+  std::vector<std::vector<RequestPtr>> groups;
+  for (const RequestPtr& request : group) {
+    auto fits = std::find_if(groups.begin(), groups.end(), [&](const auto& g) {
+      return g.front()->params.batch_key() == request->params.batch_key();
+    });
+    if (fits == groups.end()) {
+      groups.emplace_back().push_back(request);
+    } else {
+      fits->push_back(request);
+    }
+  }
+  for (const std::vector<RequestPtr>& key_group : groups) {
+    dispatch_group(*cloud, snap, key_group);
+  }
+}
+
+void SearchService::dispatch_group(CloudState& cloud,
+                                   const std::shared_ptr<Snapshot>& snap,
+                                   const std::vector<RequestPtr>& group) {
   // Merge the group into one query array, tagging each request's rows.
   std::vector<Vec3> merged;
   std::vector<BatchSlice> slices;
@@ -229,7 +715,7 @@ void SearchService::dispatch_group(const std::vector<RequestPtr>& group) {
   NeighborSearch::Report report;
   bool served = false;
   try {
-    // One launch for the whole tick; per-request results scatter out of
+    // One launch for the whole group; per-request results scatter out of
     // the row-addressed batch result.
     NeighborResult batch_result = snap->backend->search(merged, params, &report);
     std::vector<NeighborResult> results = split_batch_result(batch_result, slices);
@@ -243,31 +729,42 @@ void SearchService::dispatch_group(const std::vector<RequestPtr>& group) {
     }
     served = true;
   } catch (const std::exception& e) {
-    for (const RequestPtr& request : group) request->error = e.what();
+    for (const RequestPtr& request : group) {
+      request->reason = RejectReason::kBackend;
+      request->error = e.what();
+    }
   }
 
-  {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
-    ++stats_.batches;
-    stats_.requests += group.size();
+  const auto charge = [&](ServiceStats& stats, std::optional<SearchParams>* warm) {
+    ++stats.batches;
+    stats.requests += group.size();
     // Failed batches count requests (their tickets were signaled) but not
     // rows: `queries` means rows actually served, so it stays in step
     // with the aggregate report's ray counter.
-    if (served) stats_.queries += merged.size();
-    stats_.report += report;
+    if (served) stats.queries += merged.size();
+    stats.report += report;
     // Only params the backend accepted may warm the writer path: a
     // rejected request must not poison the next update's probe search.
-    if (served) warm_params_ = params;
+    if (served && warm != nullptr) *warm = params;
+  };
+  {
+    std::lock_guard<std::mutex> lock(cloud.stats_mutex);
+    charge(cloud.stats, &cloud.warm_params);
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    charge(stats_, nullptr);
   }
   // Signal last: once `done` fires the waiter may destroy the state.
-  for (const RequestPtr& request : group) request->done.signal();
+  for (const RequestPtr& request : group) {
+    cloud.pending.fetch_sub(1);
+    request->done.signal();
+  }
 }
 
-void SearchService::dispatch_optimized(const std::vector<RequestPtr>& batch) {
-  // Pin the snapshot once for the whole tick: every bin answers from the
-  // same index version.
-  const std::shared_ptr<Snapshot> snap = current_snapshot();
-
+void SearchService::dispatch_optimized(CloudState& cloud,
+                                       const std::shared_ptr<Snapshot>& snap,
+                                       const std::vector<RequestPtr>& batch) {
   std::vector<BatchRequest> requests;
   requests.reserve(batch.size());
   for (const RequestPtr& request : batch) {
@@ -276,8 +773,8 @@ void SearchService::dispatch_optimized(const std::vector<RequestPtr>& batch) {
   BatchOptimizerOptions opt;
   opt.reorder = true;
   opt.dedup = true;
-  opt.dedup_cell_scale = options_.dedup_cell_scale;
-  opt.max_bin_queries = options_.max_bin_queries;
+  opt.dedup_cell_scale = cloud.config.dedup_cell_scale;
+  opt.max_bin_queries = cloud.config.max_bin_queries;
   const BatchPlan plan = optimize_batch(requests, opt);
 
   for (const BatchBin& bin : plan.bins) {
@@ -304,28 +801,44 @@ void SearchService::dispatch_optimized(const std::vector<RequestPtr>& batch) {
     } catch (const std::exception& e) {
       // A rejected bin fails only its own members; the tick's other bins
       // still serve.
-      for (const std::size_t id : bin.request_ids) batch[id]->error = e.what();
+      for (const std::size_t id : bin.request_ids) {
+        batch[id]->reason = RejectReason::kBackend;
+        batch[id]->error = e.what();
+      }
     }
 
-    {
-      std::lock_guard<std::mutex> lock(stats_mutex_);
-      ++stats_.batches;
-      stats_.requests += bin.request_ids.size();
+    const auto charge = [&](ServiceStats& stats, std::optional<SearchParams>* warm) {
+      ++stats.batches;
+      stats.requests += bin.request_ids.size();
       // Served rows count what the clients submitted (pre-dedup): the
       // report's ray counter sees queries - queries_deduped of them.
-      if (served) stats_.queries += bin.merged_queries;
-      stats_.report += report;
-      if (served) warm_params_ = bin.params;
+      if (served) stats.queries += bin.merged_queries;
+      stats.report += report;
+      if (served && warm != nullptr) *warm = bin.params;
+    };
+    {
+      std::lock_guard<std::mutex> lock(cloud.stats_mutex);
+      charge(cloud.stats, &cloud.warm_params);
     }
-    for (const std::size_t id : bin.request_ids) batch[id]->done.signal();
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      charge(stats_, nullptr);
+    }
+    for (const std::size_t id : bin.request_ids) {
+      cloud.pending.fetch_sub(1);
+      batch[id]->done.signal();
+    }
   }
 
   // Tick-level charge: the optimizer ran once for all bins, so its wall
-  // time lands in the service totals, not any single bin's report.
+  // time lands in the cloud and service totals, not any single bin's
+  // report.
   {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
-    stats_.report.time.opt += plan.seconds;
+    std::lock_guard<std::mutex> lock(cloud.stats_mutex);
+    cloud.stats.report.time.opt += plan.seconds;
   }
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  stats_.report.time.opt += plan.seconds;
 }
 
 }  // namespace rtnn::service

@@ -1,96 +1,142 @@
-// The serving layer: one point cloud, many concurrent callers.
+// The serving layer: many named point clouds, many concurrent callers.
 //
 // Every entry point below the service — NeighborSearch::search(), the
 // engine backends, DynamicSearchSession — is single-caller: one thread
 // owns the index and queries arrive as one monolithic array. SearchService
-// turns that machinery into a concurrent request server:
+// turns that machinery into a concurrent multi-tenant request server:
 //
-//   * The point cloud lives behind immutable, refcounted index snapshots
+//   * A *cloud registry* maps names to tenants: register_cloud() admits a
+//     named cloud with its own backend choice, sharding, optimizer knobs,
+//     and admission policy (CloudConfig); drop_cloud() retires it;
+//     submit()/query()/update_points() address a cloud through the
+//     CloudHandle register_cloud() returned (or by name). Each cloud owns
+//     its writer-side master backend and snapshot chain. Indexes build on
+//     demand at the first request (or eagerly — build_on_register, with
+//     an optional warmup probe), and a max_resident_clouds cap evicts the
+//     least-recently-used cold index; evicted clouds keep their points
+//     and rebuild transparently when traffic returns.
+//   * Every cloud lives behind immutable, refcounted index snapshots
 //     (publish-on-update atop the engine's SearchBackend::snapshot(),
 //     which shares ox::Accel build products copy-on-write). Readers pin
 //     the snapshot current at dispatch time; update_points() builds and
 //     publishes the *next* snapshot on the writer's thread — readers are
 //     never blocked and never observe a half-updated index.
-//   * Requests from any number of threads are coalesced by a dispatcher
-//     into batched launches: every tick, all compatible pending requests
-//     merge into one backend search — one schedule/partition/bundle pass
-//     and one LaunchStage dispatch amortized across the batch (the
-//     paper's pipeline is exactly the shape that wants big launches, and
-//     serving traffic arrives as many small ones). Results scatter back
-//     to per-request slots via rtnn::split_batch_result.
-//   * The tick's merged query set then runs the paper's query
-//     reorganization — the batch optimizer (rtnn/batch_optimizer.hpp),
-//     on by default: requests bin into sub-batches homogeneous in the
-//     answer-shaping params (SearchParams::batch_key(); one launch per
-//     distinct (r, K, mode, ...) bin — differing pipeline knobs no
-//     longer force separate dispatch groups), each bin's rows are
-//     Morton-reordered across requests, and bitwise-coincident rows are
-//     answered once by an elected representative (queries_deduped in the
-//     reports). Dedup is exact by construction: only bitwise position
-//     equality transfers a result — a merely-near row falls back to its
-//     own exact search. ServiceOptions::batch_reorder=false restores the
-//     PR-5 arrival-order dispatcher unchanged.
-//   * Updates flow through the PR-4 index lifecycle off the read path:
-//     the writer-owned master backend absorbs update_points(), a warm
-//     probe search resolves the refit-vs-rebuild policy on the writer's
-//     thread, and the refreshed snapshot is published atomically.
+//   * Clouds above CloudConfig::shard_threshold split into Morton-
+//     contiguous *spatial shards* (engine::ShardedBackend over
+//     rtnn/sharding.hpp): queries scatter to the shards whose tight AABB
+//     lies within the search radius, per-shard results gather exactly
+//     (Reports sum through Report::operator+=, KNN merges through
+//     FlatKnnHeaps), and the whole snapshot/dispatch machinery — batch
+//     optimizer included — composes unchanged because a sharded cloud is
+//     just another SearchBackend.
+//   * Requests from any number of threads are coalesced by one dispatcher
+//     into batched launches, grouped per cloud per tick: all compatible
+//     pending requests of a cloud merge into one backend search, and the
+//     tick's merged rows run the batch optimizer (bin by batch_key() →
+//     Morton reorder → coincident dedup) exactly as in the single-cloud
+//     service. Results scatter back via rtnn::split_batch_result.
+//   * *Admission control* guards each cloud's door: a token bucket
+//     (sustained rate + burst) and a pending-request cap
+//     (AdmissionOptions). A request over either limit is shed at
+//     submit() — its Ticket is already rejected, and Ticket::get()
+//     throws ServiceError with RejectReason::kAdmission — instead of
+//     being queued, so overload cannot grow the backlog and admitted
+//     requests keep a flat p99 (measured by bench/serving_sharded.cpp).
 //
-//   SearchService service(points);                  // backend: "rtnn"
-//   rtnn::SearchParams params;
-//   params.mode = rtnn::SearchMode::kKnn;
-//   params.radius = 0.05f;
-//   params.k = 16;
+// Error-state contract (Ticket::get() / try_get() throw ServiceError;
+// reason() says which door refused):
+//   * RejectReason::kBackend — the cloud's backend rejected the request
+//     after dispatch: params it cannot serve (caps mismatch, approximate
+//     knobs on an exact backend). The ticket was admitted and dispatched;
+//     only its batch bin failed.
+//   * RejectReason::kAdmission — shed at submit() by the cloud's token
+//     bucket or queue-depth cap. Never queued, never dispatched; retry
+//     later or at a lower rate.
+//   * RejectReason::kShutdown — the cloud was dropped while the request
+//     was pending (drop_cloud rejects the queue's leftovers instead of
+//     serving them). submit() itself throws ServiceError(kShutdown) once
+//     shutdown() ran or the handle's cloud was dropped; a shutdown drain
+//     still *serves* requests that were admitted in time.
 //
-//   // Synchronous: submit + wait, from any thread.
-//   auto outcome = service.query(queries, params);
+//   SearchService service;                         // multi-tenant form
+//   CloudHandle city = service.register_cloud("city", city_points, {});
+//   auto outcome = service.query(city, queries, params);     // sync
+//   auto ticket = service.submit(city, queries, params);     // async
+//   ... ticket.try_get() / ticket.get() ...
+//   service.update_points(city, moved);            // writer path
+//   service.drop_cloud("city");
 //
-//   // Asynchronous: fire from many threads, join later.
-//   auto ticket = service.submit(queries, params);
-//   ... // the dispatcher coalesces in-flight requests into one launch
-//   auto async_outcome = ticket.get();              // blocks until served
+// Migration from the single-cloud API (PR-5/6): the old constructor
+// still works and is exactly a registry of size one —
 //
-//   // Writer path: publish the next frame without stalling readers.
-//   service.update_points(moved);                   // refit/rebuild here
+//   SearchService service(points, options);        // registers "default"
+//   service.query(queries, params);                // default-cloud compat
+//
+// addresses the implicit "default" cloud; ServiceOptions forwards to
+// ServiceConfig + CloudConfig (see the deprecated aggregate below).
 //
 // Reports aggregate per request rather than per call: each outcome
 // carries the Report of the coalesced batch it rode in, and stats()
-// exposes the exactly-summed service-wide totals (batch counters sum via
-// NeighborSearch::Report::operator+=; refit/rebuild increments from the
-// update path are counted there too).
+// exposes exactly-summed totals — service-wide or per cloud
+// (stats(handle)); batch counters sum via Report::operator+=.
 //
-// Threading contract: submit()/query()/update_points()/stats() are safe
-// from any thread. Backend search state is only ever touched by the
-// dispatcher thread (snapshots) and the update path (the master, under
-// the writer lock), so the backends themselves need no internal locking.
+// Threading contract: every public method is safe from any thread.
+// Backend search state is only ever touched by the dispatcher thread
+// (snapshots) and the update path (each cloud's master, under that
+// cloud's writer lock), so the backends themselves need no internal
+// locking. Writers to different clouds never contend.
 //
-// See README.md ("Serving") for the snapshot lifecycle and batching-tick
-// walkthrough, and examples/serving_demo.cpp for a full client/writer
-// program over a drifting cloud.
+// See README.md ("Serving") for the registry lifecycle, the shard
+// scatter-gather walkthrough, and the admission semantics, and
+// examples/multi_tenant_demo.cpp for a full multi-tenant program.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <span>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
+#include "core/error.hpp"
 #include "core/neighbor_result.hpp"
 #include "core/parallel.hpp"
 #include "core/vec3.hpp"
 #include "engine/search_backend.hpp"
 #include "rtnn/neighbor_search.hpp"
 #include "rtnn/types.hpp"
+#include "service/admission.hpp"
 
 namespace rtnn::service {
 
-/// Serving configuration, fixed at construction.
-struct ServiceOptions {
-  /// Engine backend the service snapshots and serves (BackendRegistry
-  /// name). Must declare caps().snapshot.
-  std::string backend = "rtnn";
+/// Which door refused a request (ServiceError::reason(); full contract
+/// in the header comment above).
+enum class RejectReason : std::uint8_t {
+  kBackend,    // dispatched, but the cloud's backend rejected the params
+  kAdmission,  // shed at submit() by the token bucket / queue-depth cap
+  kShutdown,   // service shut down or cloud dropped before serving
+};
+
+/// What Ticket::get()/try_get() (and refused submits) throw. Derives
+/// from rtnn::Error so existing catch sites keep working.
+class ServiceError : public Error {
+ public:
+  ServiceError(RejectReason reason, const std::string& what)
+      : Error(what), reason_(reason) {}
+  RejectReason reason() const { return reason_; }
+
+ private:
+  RejectReason reason_;
+};
+
+/// Service-wide configuration (the dispatcher and the registry's
+/// residency policy), fixed at construction.
+struct ServiceConfig {
   /// Coalescing caps per tick: a batch dispatches as soon as it holds
   /// this many query rows (or requests), even if the tick is not over.
   std::size_t max_batch_queries = std::size_t{1} << 15;
@@ -99,6 +145,43 @@ struct ServiceOptions {
   /// company before its batch dispatches. 0 = dispatch immediately
   /// (degenerates to per-request launches; useful for tests).
   std::chrono::microseconds max_delay{200};
+  /// Resident-index cap across the registry: at most this many clouds
+  /// keep a built index at once; registering or rebuilding past the cap
+  /// evicts the least-recently-used other cloud (its points survive and
+  /// it rebuilds on the next request). 0 = never evict.
+  std::size_t max_resident_clouds = 0;
+};
+
+/// Per-cloud configuration, fixed at register_cloud().
+struct CloudConfig {
+  /// Engine backend this cloud snapshots and serves (BackendRegistry
+  /// name). Must declare caps().snapshot.
+  std::string backend = "rtnn";
+
+  // --- Index lifecycle ---
+
+  /// Build the index at register_cloud() (the single-cloud service's
+  /// historical behavior). false = build on demand: registration just
+  /// stores the points, and the first request pays the build.
+  bool build_on_register = true;
+  /// Warm every build (registration, rebuild after eviction) with a
+  /// one-probe search under these params, so the first real request
+  /// never pays first-search lazy work.
+  std::optional<SearchParams> warmup;
+
+  // --- Spatial sharding (engine::ShardedBackend) ---
+
+  /// Points per shard before this cloud splits into Morton-contiguous
+  /// spatial shards. 0 = never shard (the backend serves the cloud
+  /// whole). Clouds at or below the threshold behave byte-identically
+  /// to an unsharded cloud.
+  std::size_t shard_threshold = 0;
+  /// Upper bound on the split, whatever the cloud size.
+  std::uint32_t max_shards = 16;
+
+  // --- Admission control (see admission.hpp) ---
+
+  AdmissionOptions admission;
 
   // --- Batch optimizer (the coherence pass over a tick's merged rows;
   // see rtnn/batch_optimizer.hpp) ---
@@ -112,10 +195,44 @@ struct ServiceOptions {
   /// Reorder/dedup grid cell width as a multiple of each bin's radius.
   /// Cost/granularity knob only; never affects results.
   float dedup_cell_scale = 1.0f;
-  /// Per-bin cap on merged rows (0 = unbounded; the tick caps above
-  /// already bound the merged set). A full bin closes and the same key
-  /// opens a fresh one.
+  /// Per-bin cap on merged rows: a request that would push an open bin
+  /// past the cap closes it and opens a fresh bin for the same key
+  /// (bounds launch and scratch size). 0 = unbounded — no bin ever
+  /// closes early; the dispatcher's tick caps already bound the merged
+  /// set. Same contract as BatchOptimizerOptions::max_bin_queries.
   std::size_t max_bin_queries = 0;
+};
+
+/// Deprecated aggregate kept so PR-5/6 call sites compile unchanged:
+/// the single-cloud constructor's options, now just a projection onto
+/// ServiceConfig (dispatcher fields) + CloudConfig (per-cloud fields).
+/// New code should pass those two directly.
+struct ServiceOptions {
+  std::string backend = "rtnn";
+  std::size_t max_batch_queries = std::size_t{1} << 15;
+  std::size_t max_batch_requests = 1024;
+  std::chrono::microseconds max_delay{200};
+  bool batch_reorder = true;
+  float dedup_cell_scale = 1.0f;
+  /// See CloudConfig::max_bin_queries (0 = unbounded; one contract,
+  /// stated there and in BatchOptimizerOptions).
+  std::size_t max_bin_queries = 0;
+
+  ServiceConfig service_config() const {
+    ServiceConfig config;
+    config.max_batch_queries = max_batch_queries;
+    config.max_batch_requests = max_batch_requests;
+    config.max_delay = max_delay;
+    return config;
+  }
+  CloudConfig cloud_config() const {
+    CloudConfig config;
+    config.backend = backend;
+    config.batch_reorder = batch_reorder;
+    config.dedup_cell_scale = dedup_cell_scale;
+    config.max_bin_queries = max_bin_queries;
+    return config;
+  }
 };
 
 /// Everything a served request gets back.
@@ -127,7 +244,7 @@ struct RequestOutcome {
   /// the launch; there is no per-row attribution. Optimizer wall time is
   /// tick-level and charged to stats().report.time.opt.
   NeighborSearch::Report report;
-  /// Version of the snapshot that answered (0 = the construction upload;
+  /// Version of the snapshot that answered (0 = the registration upload;
   /// each update_points() publishes the next version).
   std::uint64_t snapshot_version = 0;
   /// How many requests and query rows shared the dispatch (rows counted
@@ -136,14 +253,19 @@ struct RequestOutcome {
   std::size_t batch_queries = 0;
 };
 
-/// Exactly-summed service-wide totals (see stats()).
+/// Exactly-summed totals — service-wide from stats(), per tenant from
+/// stats(handle).
 struct ServiceStats {
   std::uint64_t requests = 0;  // requests served (signaled), failed included
   std::uint64_t batches = 0;   // coalesced launches those requests rode in
                                // (one per homogeneous bin with the optimizer on)
   std::uint64_t queries = 0;   // query rows served, pre-dedup (the report's ray
                                // counter sees queries - report.queries_deduped)
-  std::uint64_t updates = 0;   // snapshots published after the first
+  std::uint64_t updates = 0;   // update_points() calls absorbed
+  std::uint64_t shed = 0;      // requests rejected by admission control
+                               // (not counted in `requests`: never dispatched)
+  std::uint64_t builds = 0;    // index builds (registration, demand, rebuild)
+  std::uint64_t evictions = 0; // resident indexes evicted by the LRU cap
   /// Merged per-batch (and update-path warm) reports: times and counters
   /// sum exactly; sah_inflation is the worst observed.
   NeighborSearch::Report report;
@@ -151,25 +273,52 @@ struct ServiceStats {
 
 namespace detail {
 struct RequestState;
+struct CloudState;
+struct Snapshot;
 }
+
+/// A registered cloud, as returned by register_cloud() (or cloud()).
+/// Cheap to copy; stays safely usable after drop_cloud() — operations
+/// on a dropped cloud throw ServiceError(kShutdown).
+class CloudHandle {
+ public:
+  CloudHandle() = default;
+  bool valid() const { return state_ != nullptr; }
+  const std::string& name() const;
+
+ private:
+  friend class SearchService;
+  explicit CloudHandle(std::shared_ptr<detail::CloudState> state)
+      : state_(std::move(state)) {}
+  std::shared_ptr<detail::CloudState> state_;
+};
 
 class SearchService {
  public:
   /// Future for one submitted request. Movable; wait from any thread.
+  /// Error states (what get()/try_get() throw) are documented in the
+  /// header comment's error-state contract.
   class Ticket {
    public:
     Ticket() = default;
 
+    /// True when this ticket refers to a real submission (a default-
+    /// constructed or moved-from ticket is not usable).
     bool valid() const { return state_ != nullptr; }
-    /// True once the request has been served (get() will not block).
+    /// True once the request has been served or rejected (get() will
+    /// not block).
     bool ready() const;
     /// Blocks until the request is served.
     void wait() const;
     /// Bounded wait; true when served within `timeout`.
     bool wait_for(std::chrono::nanoseconds timeout) const;
-    /// Waits and moves the outcome out (call once). Throws rtnn::Error
-    /// when the request failed — e.g. params the backend rejects.
+    /// Waits and moves the outcome out (call once). Throws ServiceError
+    /// when the request failed — see the error-state contract.
     RequestOutcome get();
+    /// Non-blocking get(): nullopt while the request is still pending;
+    /// the outcome once served. Throws ServiceError exactly like get()
+    /// when the request already failed.
+    std::optional<RequestOutcome> try_get();
 
    private:
     friend class SearchService;
@@ -178,7 +327,15 @@ class SearchService {
     std::shared_ptr<detail::RequestState> state_;
   };
 
-  /// Builds the first snapshot over `points` and starts the dispatcher.
+  /// Multi-tenant form: an empty registry and a running dispatcher;
+  /// add tenants with register_cloud().
+  explicit SearchService(const ServiceConfig& config = {});
+
+  /// Single-cloud compatibility form (the PR-5/6 constructor): exactly a
+  /// registry of size one — registers `points` under the name "default"
+  /// with the eager build and versioning semantics the old service had,
+  /// and the cloud-less submit()/query()/update_points() overloads below
+  /// address it.
   explicit SearchService(std::span<const Vec3> points,
                          const ServiceOptions& options = {});
   ~SearchService();  // shutdown()
@@ -186,72 +343,125 @@ class SearchService {
   SearchService(const SearchService&) = delete;
   SearchService& operator=(const SearchService&) = delete;
 
-  /// Enqueues a request; the dispatcher coalesces it with other pending
-  /// requests of compatible params into one batched launch. Throws once
-  /// the service is shut down.
-  Ticket submit(std::span<const Vec3> queries, const SearchParams& params);
+  // --- Registry ---
+
+  /// Admits a named cloud; the returned handle addresses it in every
+  /// other call. Builds its index now (config.build_on_register, the
+  /// default) or at the first request. Throws rtnn::Error for a
+  /// duplicate name or a backend without caps().snapshot.
+  CloudHandle register_cloud(const std::string& name, std::span<const Vec3> points,
+                             const CloudConfig& config = {});
+  /// Retires a cloud: its pending requests are rejected (kShutdown),
+  /// its index is released, and outstanding handles turn into throwing
+  /// handles. Unknown names throw.
+  void drop_cloud(const std::string& name);
+  /// Registered cloud names, sorted.
+  std::vector<std::string> list_clouds() const;
+  /// Handle lookup by name; throws for unknown names.
+  CloudHandle cloud(const std::string& name) const;
+  /// How many clouds currently hold a built (resident) index.
+  std::size_t resident_clouds() const;
+
+  // --- Request path ---
+
+  /// Enqueues a request against `cloud`; the dispatcher coalesces it
+  /// with other pending requests of that cloud into one batched launch.
+  /// Sheds instead of queueing when the cloud's admission policy says so
+  /// (the returned ticket is already rejected with kAdmission). Throws
+  /// ServiceError(kShutdown) once the service is shut down or the cloud
+  /// dropped.
+  Ticket submit(const CloudHandle& cloud, std::span<const Vec3> queries,
+                const SearchParams& params);
+  Ticket submit(std::string_view cloud, std::span<const Vec3> queries,
+                const SearchParams& params);
 
   /// Synchronous convenience: submit() + get().
-  RequestOutcome query(std::span<const Vec3> queries, const SearchParams& params);
+  RequestOutcome query(const CloudHandle& cloud, std::span<const Vec3> queries,
+                       const SearchParams& params);
+  RequestOutcome query(std::string_view cloud, std::span<const Vec3> queries,
+                       const SearchParams& params);
 
-  /// Writer path: moves the cloud to `points` and publishes the next
+  /// Writer path: moves `cloud` to `points` and publishes its next
   /// snapshot. Same count = a move (dynamic backends refit per the cost
-  /// model's policy); a resize = a fresh upload and build. All index work
-  /// runs on the calling thread — concurrent readers keep their pinned
-  /// snapshot and are never blocked. Writers serialize among themselves.
+  /// model's policy); a resize = a fresh upload and build. All index
+  /// work runs on the calling thread — concurrent readers keep their
+  /// pinned snapshot and are never blocked. Writers to the same cloud
+  /// serialize among themselves; different clouds never contend. On a
+  /// non-resident (evicted or not-yet-built) cloud this just replaces
+  /// the stored points — the index catches up at the next build.
+  void update_points(const CloudHandle& cloud, std::span<const Vec3> points);
+  void update_points(std::string_view cloud, std::span<const Vec3> points);
+
+  /// Version of the cloud's currently published snapshot.
+  std::uint64_t snapshot_version(const CloudHandle& cloud) const;
+  /// Point count of the cloud.
+  std::size_t point_count(const CloudHandle& cloud) const;
+  /// Per-tenant aggregate.
+  ServiceStats stats(const CloudHandle& cloud) const;
+
+  // --- Single-cloud compatibility surface (the "default" cloud) ---
+
+  Ticket submit(std::span<const Vec3> queries, const SearchParams& params);
+  RequestOutcome query(std::span<const Vec3> queries, const SearchParams& params);
   void update_points(std::span<const Vec3> points);
-
-  /// Version of the currently published snapshot.
   std::uint64_t snapshot_version() const;
-
-  /// Point count of the currently published snapshot.
   std::size_t point_count() const;
 
-  /// Service-wide aggregate (exactly-summed counters; see ServiceStats).
+  /// Service-wide aggregate (every cloud; exactly-summed counters).
   ServiceStats stats() const;
 
-  /// Stops accepting requests, serves everything already queued, and
-  /// joins the dispatcher. Idempotent; the destructor calls it.
+  /// Stops accepting requests, serves everything already queued
+  /// (requests whose cloud was dropped are rejected with kShutdown),
+  /// and joins the dispatcher. Idempotent; the destructor calls it.
   void shutdown();
 
  private:
-  /// One published index version: `backend` is searched only by the
-  /// dispatcher thread, never mutated by writers (they clone the master
-  /// instead), so in-flight batches and snapshot publishes never share
-  /// mutable state.
-  struct Snapshot {
-    std::uint64_t version = 0;
-    std::unique_ptr<engine::SearchBackend> backend;
-  };
-
   using RequestPtr = std::shared_ptr<detail::RequestState>;
+  using CloudPtr = std::shared_ptr<detail::CloudState>;
+
+  CloudPtr default_cloud() const;
+  CloudPtr resolve(const CloudHandle& handle) const;
+  CloudPtr resolve(std::string_view name) const;
+  Ticket submit_to(const CloudPtr& cloud, std::span<const Vec3> queries,
+                   const SearchParams& params);
+
+  /// Builds `cloud`'s master + snapshot from its stored points (caller
+  /// must hold the cloud's update mutex), then enforces the residency
+  /// cap. Counted in stats as a build.
+  void build_cloud_locked(detail::CloudState& cloud);
+  /// Evicts least-recently-used resident clouds (other than `keep`)
+  /// until the cap holds.
+  void enforce_residency_cap(const detail::CloudState* keep);
+  /// The cloud's current snapshot, building on demand if not resident.
+  std::shared_ptr<detail::Snapshot> pin_snapshot(detail::CloudState& cloud);
 
   void dispatch_loop();
-  void dispatch_group(const std::vector<RequestPtr>& group);
-  void dispatch_optimized(const std::vector<RequestPtr>& batch);
-  std::shared_ptr<Snapshot> current_snapshot() const;
+  void dispatch_cloud(const CloudPtr& cloud, const std::vector<RequestPtr>& group);
+  void dispatch_group(detail::CloudState& cloud,
+                      const std::shared_ptr<detail::Snapshot>& snap,
+                      const std::vector<RequestPtr>& group);
+  void dispatch_optimized(detail::CloudState& cloud,
+                          const std::shared_ptr<detail::Snapshot>& snap,
+                          const std::vector<RequestPtr>& batch);
+  static void reject(const RequestPtr& request, RejectReason reason,
+                     const std::string& message);
+  void count_shed(detail::CloudState& cloud);
 
-  ServiceOptions options_;
+  ServiceConfig config_;
 
-  // Writer state: the master backend owns the authoritative cloud and
-  // index lineage. Guarded by update_mutex_; never searched by readers.
-  std::mutex update_mutex_;
-  std::unique_ptr<engine::SearchBackend> master_;
-
-  // The published snapshot readers pin (swapped atomically under its own
-  // mutex so publishes never wait on dispatches).
-  mutable std::mutex snapshot_mutex_;
-  std::shared_ptr<Snapshot> snapshot_;
+  mutable std::mutex registry_mutex_;
+  std::vector<CloudPtr> clouds_;  // registration order; names unique
+  CloudPtr default_;              // the compat constructor's cloud
 
   WorkQueue<RequestPtr> queue_;
   std::thread dispatcher_;
-  bool stopped_ = false;  // guarded by update_mutex_ (shutdown vs writers)
+  std::atomic<bool> stopped_{false};
+  std::mutex lifecycle_mutex_;  // serializes shutdown()
+
+  std::atomic<std::uint64_t> use_clock_{0};  // LRU ordering for eviction
 
   mutable std::mutex stats_mutex_;
-  ServiceStats stats_;
-  /// Params of the most recent dispatch — what update_points() warms the
-  /// refreshed index with (guarded by stats_mutex_).
-  std::optional<SearchParams> warm_params_;
+  ServiceStats stats_;  // service-wide totals across all clouds
 };
 
 }  // namespace rtnn::service

@@ -156,6 +156,34 @@ TEST(BatchOptimizer, PerBinCapOpensAFreshBin) {
   EXPECT_EQ(plan.bins[3].merged_queries, 50u);
 }
 
+TEST(BatchOptimizer, ZeroCapMeansUnbounded) {
+  // max_bin_queries = 0 is the documented "unbounded" contract (shared by
+  // BatchOptimizerOptions, CloudConfig, and the deprecated ServiceOptions):
+  // no bin ever closes early, however many rows pile onto one key.
+  const std::vector<Vec3> cloud = make_cloud(CloudKind::kUniform, 800, kSeed);
+  const SearchParams params = knn_params(typical_radius(CloudKind::kUniform));
+  std::vector<BatchRequest> requests;
+  std::size_t total_rows = 0;
+  for (int r = 0; r < 16; ++r) {
+    const std::size_t size = 30 + static_cast<std::size_t>(r);
+    requests.push_back({std::span<const Vec3>(cloud.data() + 20 * r, size), params});
+    total_rows += size;
+  }
+
+  BatchOptimizerOptions options;
+  options.max_bin_queries = 0;
+  const BatchPlan plan = optimize_batch(requests, options);
+  ASSERT_EQ(plan.bins.size(), 1u);  // one key, one bin — never split
+  EXPECT_EQ(plan.bins[0].merged_queries, total_rows);
+  EXPECT_EQ(plan.bins[0].request_ids.size(), requests.size());
+  expect_valid_rep_map(plan.bins[0]);
+
+  // Sanity: the same stream under a finite cap does split, so the zero
+  // really is the unbounded sentinel and not a tiny cap.
+  options.max_bin_queries = 64;
+  EXPECT_GT(optimize_batch(requests, options).bins.size(), 1u);
+}
+
 // --- Reorder -----------------------------------------------------------------
 
 TEST(BatchOptimizer, ReorderIsAPermutationAndStaysExact) {

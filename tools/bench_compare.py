@@ -56,20 +56,32 @@ def index_timings(report):
     return timings
 
 
+# The serving.multi_tenant.* overload case publishes its verdict as
+# scalars rather than stage times; surface them in the same informational
+# breakdown so an admission-policy change is read next to its latencies.
+ADMISSION_METRICS = frozenset(
+    {"queued_p99_ms", "admitted_p99_ms", "shed_share", "p99_ratio"}
+)
+
+
 def index_stage_metrics(report):
-    """{(case_name, metric_name): value} for serving.* per-stage metrics.
+    """{(case_name, metric_name): value} for serving.* breakdown metrics.
 
     The serving cases publish their aggregate TimeBreakdown as metrics
     named ``*stage.<phase>`` (plus ``*stage.launches``); pairing the two
     reports' values attributes a serving delta to its phase — e.g. reorder
     cost showing up in stage.opt against a larger win in stage.search.
+    The sharded case (serving.sharded.*) emits the same shape per tenant
+    (``flat.stage.*`` / ``sharded.stage.*``), and the multi-tenant
+    overload case (serving.multi_tenant.*) contributes its admission
+    scalars (ADMISSION_METRICS).
     """
     metrics = {}
     for case in report.get("cases", []):
         if case.get("status") != "ok" or not case["name"].startswith("serving."):
             continue
         for metric in case.get("metrics", []):
-            if "stage." in metric["name"]:
+            if "stage." in metric["name"] or metric["name"] in ADMISSION_METRICS:
                 metrics[(case["name"], metric["name"])] = float(metric["value"])
     return metrics
 
@@ -82,7 +94,7 @@ def print_stage_breakdown(baseline, current):
     if not common:
         return
     print()
-    print("serving per-stage breakdown (informational, not gated):")
+    print("serving per-stage / admission breakdown (informational, not gated):")
     print(f"{'case':<24} {'stage':<20} {'base':>12} {'cur':>12} {'delta':>8}")
     for key in common:
         base = base_metrics[key]
