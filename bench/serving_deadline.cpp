@@ -1,0 +1,175 @@
+// Request-deadline serving bench (the PR-8 robustness surface).
+//
+// Not a paper figure. One question at the fixed 100k-point serving scale
+// (absolute size, like the serving.* family — the object is a ratio
+// between two configurations of the same service, comparable across runs
+// regardless of --scale):
+//
+//   deadline   open-loop arrivals far past capacity, with and without a
+//              per-request deadline (RequestOptions::within). Without
+//              deadlines every request queues and the p99 grows with the
+//              backlog for the whole run; with a deadline of a few
+//              service times, requests the backlog cannot reach in time
+//              resolve as RejectReason::kDeadline at the queue or the
+//              pre-launch gate, and the p99 of the *served* requests
+//              stays bounded near the budget. deadline_miss_share is
+//              what that bound costs.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench/bench.hpp"
+#include "bench_util.hpp"
+#include "core/timing.hpp"
+#include "datasets/uniform.hpp"
+#include "rtnn/rtnn.hpp"
+#include "serving_traffic.hpp"
+#include "service/service.hpp"
+
+using namespace rtnn;
+
+namespace {
+
+constexpr std::size_t kServingPoints = 100'000;
+constexpr std::uint32_t kServingK = 8;
+constexpr int kRequests = 48;
+
+/// KNN params sized for ~2K expected neighbors (the serving.* convention).
+SearchParams serving_params(std::size_t n) {
+  SearchParams params;
+  params.mode = SearchMode::kKnn;
+  params.k = kServingK;
+  params.radius = static_cast<float>(
+      std::cbrt(2.0 * kServingK * 3.0 / (4.0 * 3.14159265 * static_cast<double>(n))));
+  params.opts = OptimizationFlags::none();
+  return params;
+}
+
+using bench_traffic::percentile;
+using bench_traffic::request_queries;
+
+}  // namespace
+
+RTNN_BENCH_CASE(serving_deadline, "serving.deadline.100k",
+                "Open-loop overload — per-request deadlines vs unbounded waiting",
+                "arrivals far past capacity: without deadlines the served p99 "
+                "is the backlog, with a budget of a few service times the "
+                "unreachable tail resolves as kDeadline and the served p99 "
+                "stays near the budget",
+                "absolute 100k points; single submitter at a fixed rate") {
+  const data::PointCloud cloud = data::uniform_box(
+      kServingPoints, {{0, 0, 0}, {1, 1, 1}}, bench::mix_seed(ctx.seed(), 841));
+  const SearchParams params = serving_params(cloud.size());
+
+  /// One open-loop overload run: submits at `period_s`, a FIFO collector
+  /// stamps completions; tickets then sort into served latencies vs
+  /// deadline misses. `budget_s <= 0` disables deadlines.
+  struct DeadlineResult {
+    std::vector<double> served;  // ascending latencies of served requests
+    std::size_t missed = 0;
+  };
+  auto overload_run = [&](service::SearchService& service,
+                          const service::CloudHandle& handle, double period_s,
+                          double budget_s) {
+    DeadlineResult out;
+    std::vector<service::SearchService::Ticket> tickets(kRequests);
+    std::vector<Timer> stamps(kRequests);
+    std::vector<double> latencies(kRequests, 0.0);
+    std::atomic<int> submitted{0};
+    std::thread collector([&] {
+      for (int r = 0; r < kRequests; ++r) {
+        while (submitted.load(std::memory_order_acquire) <= r) {
+          std::this_thread::sleep_for(std::chrono::microseconds(20));
+        }
+        tickets[static_cast<std::size_t>(r)].wait();
+        latencies[static_cast<std::size_t>(r)] =
+            stamps[static_cast<std::size_t>(r)].elapsed();
+      }
+    });
+    for (int r = 0; r < kRequests; ++r) {
+      service::RequestOptions options;
+      if (budget_s > 0.0) {
+        options = service::RequestOptions::within(
+            std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                std::chrono::duration<double>(budget_s)));
+      }
+      Timer arrival;
+      stamps[static_cast<std::size_t>(r)].reset();
+      tickets[static_cast<std::size_t>(r)] =
+          service.submit(handle, request_queries(cloud, r % 3, r), params, options);
+      submitted.fetch_add(1, std::memory_order_release);
+      const double remaining = period_s - arrival.elapsed();
+      if (remaining > 0.0) {
+        std::this_thread::sleep_for(std::chrono::duration<double>(remaining));
+      }
+    }
+    collector.join();
+    for (int r = 0; r < kRequests; ++r) {
+      try {
+        (void)tickets[static_cast<std::size_t>(r)].get();
+        out.served.push_back(latencies[static_cast<std::size_t>(r)]);
+      } catch (const service::ServiceError&) {
+        ++out.missed;  // RejectReason::kDeadline at the queue or the gate
+      }
+    }
+    std::sort(out.served.begin(), out.served.end());
+    return out;
+  };
+
+  // Calibrate overload off this machine: mean service time of a short
+  // solo burst (first query excluded — it pays the one-time index build),
+  // then arrivals at 16x that rate; the deadline budget is one service
+  // time, so arrivals landing behind an in-flight launch outrun it.
+  service::SearchService off_service;
+  const service::CloudHandle off_handle = off_service.register_cloud("off", cloud);
+  (void)off_service.query(off_handle, request_queries(cloud, 2, 0), params);
+  Timer calibrate;
+  for (int r = 0; r < 8; ++r) {
+    (void)off_service.query(off_handle, request_queries(cloud, 1, r), params);
+  }
+  const double solo_s = calibrate.elapsed() / 8.0;
+  const double period_s = solo_s / 16.0;
+  const double budget_s = solo_s;
+
+  // Deadlines OFF: every request queues and eventually serves; the p99
+  // is the backlog the open loop built up.
+  DeadlineResult off;
+  (void)ctx.time(
+      "off.100k",
+      [&] { off = overload_run(off_service, off_handle, period_s, 0.0); },
+      {.work_items = static_cast<double>(kRequests)});
+
+  // Deadlines ON: the same schedule with a fixed budget per request; the
+  // unreachable tail is dropped before launch and typed kDeadline.
+  service::SearchService on_service;
+  const service::CloudHandle on_handle = on_service.register_cloud("on", cloud);
+  (void)on_service.query(on_handle, request_queries(cloud, 2, 0), params);
+  DeadlineResult on;
+  (void)ctx.time(
+      "on.100k",
+      [&] { on = overload_run(on_service, on_handle, period_s, budget_s); },
+      {.work_items = static_cast<double>(kRequests)});
+
+  const double off_p99 = percentile(off.served, 0.99);
+  const double on_p99 = percentile(on.served, 0.99);
+  const double miss_share =
+      static_cast<double>(on.missed) / static_cast<double>(kRequests);
+  ctx.metric("arrival_period_ms", period_s * 1e3, "ms");
+  ctx.metric("deadline_budget_ms", budget_s * 1e3, "ms");
+  ctx.metric("deadline_p50_off_ms", percentile(off.served, 0.50) * 1e3, "ms");
+  ctx.metric("deadline_p99_off_ms", off_p99 * 1e3, "ms");
+  ctx.metric("deadline_p50_on_ms", percentile(on.served, 0.50) * 1e3, "ms");
+  ctx.metric("deadline_p99_on_ms", on_p99 * 1e3, "ms");
+  ctx.metric("deadline_miss_share", miss_share);
+  ctx.metric("p99_ratio", on_p99 > 0.0 ? off_p99 / on_p99 : 0.0, "x");
+  std::printf(
+      "%10s %10s %12s %12s %9s %9s\n"
+      "%9.3fms %9.3fms %10.3fms %10.3fms %8.1f%% %8.1fx\n",
+      "period", "budget", "off p99", "on p99", "missed", "p99 ratio",
+      period_s * 1e3, budget_s * 1e3, off_p99 * 1e3, on_p99 * 1e3,
+      100.0 * miss_share, on_p99 > 0.0 ? off_p99 / on_p99 : 0.0);
+}

@@ -1,0 +1,93 @@
+#include "core/failpoint.hpp"
+
+#include <new>
+#include <thread>
+#include <utility>
+
+namespace rtnn::fail {
+
+FailpointRegistry& FailpointRegistry::instance() {
+  static FailpointRegistry registry;
+  return registry;
+}
+
+void FailpointRegistry::arm(const std::string& name, FailConfig config) {
+  RTNN_CHECK(!name.empty(), "a failpoint needs a name");
+  RTNN_CHECK(config.probability >= 0.0 && config.probability <= 1.0,
+             "failpoint probability must be in [0, 1]");
+  std::lock_guard<std::mutex> lock(mutex_);
+  Site site;
+  site.rng = Pcg32(config.seed);
+  site.config = std::move(config);
+  const auto [it, inserted] = sites_.insert_or_assign(name, std::move(site));
+  (void)it;
+  if (inserted) armed_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void FailpointRegistry::disarm(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (sites_.erase(name) > 0) armed_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void FailpointRegistry::disarm_all() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  sites_.clear();
+  armed_.store(0, std::memory_order_relaxed);
+}
+
+std::uint64_t FailpointRegistry::hits(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = sites_.find(name);
+  return it == sites_.end() ? 0 : it->second.hits;
+}
+
+std::uint64_t FailpointRegistry::fires(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = sites_.find(name);
+  return it == sites_.end() ? 0 : it->second.fires;
+}
+
+void FailpointRegistry::evaluate(const char* name) {
+  if (armed_.load(std::memory_order_relaxed) == 0) return;  // the idle fast path
+
+  // Decide under the lock, act outside it: a delay action must not hold
+  // the registry hostage (another thread's site, or a disarm from the
+  // test harness, keeps working while this site sleeps).
+  Action action{};
+  std::chrono::nanoseconds delay{};
+  std::string message;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = sites_.find(name);
+    if (it == sites_.end()) return;
+    Site& site = it->second;
+    ++site.hits;
+    bool fire;
+    if (site.config.fire_on_hit > 0) {
+      fire = site.hits == site.config.fire_on_hit;
+    } else {
+      fire = site.rng.next_double() < site.config.probability;
+    }
+    if (site.config.max_fires > 0 && site.fires >= site.config.max_fires) fire = false;
+    if (!fire) return;
+    ++site.fires;
+    action = site.config.action;
+    delay = site.config.delay;
+    message = site.config.message;
+  }
+
+  switch (action) {
+    case Action::kThrow: {
+      std::string what = "failpoint '" + std::string(name) + "' fired";
+      if (!message.empty()) what += ": " + message;
+      throw InjectedFault(what);
+    }
+    case Action::kDelay:
+      if (delay.count() > 0) std::this_thread::sleep_for(delay);
+      return;
+    case Action::kAllocFail:
+      throw std::bad_alloc();
+  }
+}
+
+}  // namespace rtnn::fail

@@ -113,6 +113,10 @@ void CompletionEvent::wait() const {
 
 bool CompletionEvent::wait_for(std::chrono::nanoseconds timeout) const {
   std::unique_lock<std::mutex> lock(mutex_);
+  // Zero/negative timeouts poll: report the current state without ever
+  // blocking. (Also sidesteps the overflow in now() + timeout that a
+  // nanoseconds::min() deadline computation would hit inside wait_for.)
+  if (timeout <= std::chrono::nanoseconds::zero()) return done_;
   return cv_.wait_for(lock, timeout, [&] { return done_; });
 }
 

@@ -148,7 +148,9 @@ class CompletionEvent {
  public:
   void signal();
   void wait() const;
-  /// True when the event fired within `timeout`; false on timeout.
+  /// True when the event fired within `timeout`; false on timeout. A
+  /// zero or negative timeout never blocks: it returns the current
+  /// state immediately (a poll).
   bool wait_for(std::chrono::nanoseconds timeout) const;
   bool signaled() const;
 

@@ -1,8 +1,11 @@
 #include "engine/sharded_backend.hpp"
 
+#include <string>
+#include <thread>
 #include <utility>
 
 #include "core/error.hpp"
+#include "core/failpoint.hpp"
 #include "core/timing.hpp"
 #include "engine/registry.hpp"
 
@@ -57,9 +60,48 @@ void ShardedBackend::update_points(std::span<const Vec3> points) {
   }
 }
 
+bool ShardedBackend::search_shard_guarded(std::size_t shard,
+                                          std::span<const Vec3> queries,
+                                          const SearchParams& params, Report* report,
+                                          NeighborResult* result) {
+  // Bounded retry with exponential backoff: a transiently failing shard
+  // (the failure model fault injection provokes) gets max_attempts
+  // chances before the degradation policy decides between failing the
+  // whole search and dropping this shard from the gather.
+  const std::uint32_t attempts = std::max<std::uint32_t>(1, options_.max_attempts);
+  std::chrono::nanoseconds backoff = options_.backoff;
+  std::string last_error;
+  for (std::uint32_t attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0 && backoff.count() > 0) {
+      std::this_thread::sleep_for(backoff);
+      backoff *= 2;
+    }
+    try {
+      RTNN_FAILPOINT("sharded.shard_search");
+      Report shard_report;
+      *result = shards_[shard]->search(queries, params,
+                                       report ? &shard_report : nullptr);
+      if (report) *report += shard_report;  // exact aggregation, like the service
+      return true;
+    } catch (const std::exception& e) {
+      last_error = e.what();
+      if (report && attempt + 1 < attempts) ++report->shard_retries;
+    }
+  }
+  if (!options_.allow_degraded) {
+    throw Error("shard " + std::to_string(shard) + "/" +
+                std::to_string(shards_.size()) + " failed after " +
+                std::to_string(attempts) + " attempt(s): " + last_error);
+  }
+  last_dropped_.push_back(static_cast<std::uint32_t>(shard));
+  if (report) ++report->shards_dropped;
+  return false;
+}
+
 NeighborResult ShardedBackend::search(std::span<const Vec3> queries,
                                       const SearchParams& params, Report* report) {
   RTNN_CHECK(!shards_.empty(), "set_points() before search()");
+  last_dropped_.clear();
   if (shards_.size() == 1) {
     // Unsharded clouds pay nothing: straight delegation, byte-identical
     // to running the inner backend directly.
@@ -87,13 +129,12 @@ NeighborResult ShardedBackend::search(std::span<const Vec3> queries,
     shard_queries.clear();
     shard_queries.reserve(rows.size());
     for (const std::uint32_t row : rows) shard_queries.push_back(queries[row]);
-    Report shard_report;
     ShardPartial partial;
     partial.rows = &rows;
     partial.point_ids = &plan_.shards[s].point_ids;
-    partial.result = shards_[s]->search(shard_queries, params,
-                                        report ? &shard_report : nullptr);
-    if (report) *report += shard_report;  // exact aggregation, like the service
+    if (!search_shard_guarded(s, shard_queries, params, report, &partial.result)) {
+      continue;  // dropped from the gather (allow_degraded)
+    }
     partials.push_back(std::move(partial));
   }
 
@@ -110,6 +151,7 @@ std::unique_ptr<SearchBackend> ShardedBackend::snapshot() const {
   copy->points_ = points_;
   copy->plan_ = plan_;
   copy->total_fanout_ = total_fanout_;
+  // last_dropped_ is per-search scratch; the clone starts clean.
   copy->shards_.reserve(shards_.size());
   for (const std::unique_ptr<SearchBackend>& shard : shards_) {
     std::unique_ptr<SearchBackend> clone = shard->snapshot();

@@ -21,6 +21,8 @@ NeighborSearch::Report& NeighborSearch::Report::operator+=(const Report& o) {
   sah_inflation = std::max(sah_inflation, o.sah_inflation);
   queries_deduped += o.queries_deduped;
   batch_bins += o.batch_bins;
+  shard_retries += o.shard_retries;
+  shards_dropped += o.shards_dropped;
   return *this;
 }
 

@@ -79,6 +79,10 @@ class NeighborSearch {
     // on plain searches). Optimizer wall time is charged to time.opt.
     std::uint64_t queries_deduped = 0; // rows answered by a coincident representative
     std::uint32_t batch_bins = 0;      // homogeneous launch bins emitted
+    // Shard fault isolation (engine::ShardedBackend's retry/degrade
+    // path; zero everywhere else).
+    std::uint32_t shard_retries = 0;   // failed shard attempts that were retried
+    std::uint32_t shards_dropped = 0;  // shards excluded from a degraded gather
     /// Aggregation across calls/batches (the serving layer's per-service
     /// totals): every time and counter sums exactly; sah_inflation keeps
     /// the worst (largest) quality degradation observed.

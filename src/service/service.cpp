@@ -4,6 +4,7 @@
 #include <exception>
 #include <utility>
 
+#include "core/failpoint.hpp"
 #include "engine/registry.hpp"
 #include "engine/sharded_backend.hpp"
 #include "rtnn/batch_optimizer.hpp"
@@ -29,6 +30,8 @@ struct RequestState {
   std::shared_ptr<CloudState> cloud;
   std::vector<Vec3> queries;  // copied at submit: the caller's span may die
   SearchParams params;
+  /// Latest instant the launch may still start (RequestOptions::deadline).
+  std::optional<std::chrono::steady_clock::time_point> deadline;
   RequestOutcome outcome;
   std::string error;  // non-empty when the request failed
   RejectReason reason = RejectReason::kBackend;
@@ -81,6 +84,7 @@ namespace {
 using detail::CloudState;
 using detail::RequestState;
 using detail::Snapshot;
+using RequestPtr = std::shared_ptr<RequestState>;
 
 /// The backend a cloud's config asks for: the named engine backend,
 /// wrapped in a ShardedBackend when the cloud is over its threshold.
@@ -90,9 +94,23 @@ std::unique_ptr<engine::SearchBackend> make_cloud_backend(const CloudConfig& con
     engine::ShardingOptions sharding;
     sharding.shard_threshold = config.shard_threshold;
     sharding.max_shards = config.max_shards;
+    sharding.max_attempts = config.shard_max_attempts;
+    sharding.backoff = config.shard_backoff;
+    sharding.allow_degraded = config.shard_allow_degraded;
     return std::make_unique<engine::ShardedBackend>(config.backend, sharding);
   }
   return engine::make_backend(config.backend);
+}
+
+bool expired(const RequestPtr& request) {
+  return request->deadline.has_value() &&
+         std::chrono::steady_clock::now() >= *request->deadline;
+}
+
+std::int64_t steady_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
 }
 
 }  // namespace
@@ -140,7 +158,13 @@ std::optional<RequestOutcome> SearchService::Ticket::try_get() {
 SearchService::SearchService(const ServiceConfig& config) : config_(config) {
   RTNN_CHECK(config_.max_batch_queries > 0 && config_.max_batch_requests > 0,
              "batch caps must be positive");
-  dispatcher_ = std::thread([this] { dispatch_loop(); });
+  RTNN_CHECK(config_.stall_timeout.count() == 0 ||
+                 config_.watchdog_interval.count() > 0,
+             "the watchdog needs a positive sampling interval");
+  dispatcher_ = std::thread([this] { dispatch_loop(0); });
+  if (config_.stall_timeout.count() > 0) {
+    watchdog_ = std::thread([this] { watchdog_loop(); });
+  }
 }
 
 SearchService::SearchService(std::span<const Vec3> points,
@@ -160,9 +184,27 @@ void SearchService::shutdown() {
   // dispatcher never touches lifecycle_mutex_, so joining under it
   // cannot deadlock. Requests already queued are served by the drain.
   std::lock_guard<std::mutex> lock(lifecycle_mutex_);
-  stopped_.store(true);
+  {
+    // Set under the watchdog's mutex so it either sees the flag before
+    // waiting or is inside the wait and gets the notify.
+    std::lock_guard<std::mutex> watchdog_lock(watchdog_mutex_);
+    stopped_.store(true);
+  }
+  watchdog_cv_.notify_all();
+  // The watchdog goes first: once joined, no further restart can swap
+  // dispatcher_ out from under the joins below.
+  if (watchdog_.joinable()) watchdog_.join();
   queue_.close();  // dispatcher drains what is queued, then exits
-  if (dispatcher_.joinable()) dispatcher_.join();
+  std::vector<std::thread> workers;
+  {
+    std::lock_guard<std::mutex> dispatcher_lock(dispatcher_mutex_);
+    workers = std::move(retired_dispatchers_);
+    retired_dispatchers_.clear();
+    if (dispatcher_.joinable()) workers.push_back(std::move(dispatcher_));
+  }
+  for (std::thread& worker : workers) {
+    if (worker.joinable()) worker.join();
+  }
 }
 
 // --- Registry ----------------------------------------------------------------
@@ -209,7 +251,14 @@ CloudHandle SearchService::register_cloud(const std::string& name,
     clouds_.push_back(state);
   }
   state->last_used.store(use_clock_.fetch_add(1) + 1);
-  enforce_residency_cap(state.get());
+  try {
+    enforce_residency_cap(state.get());
+  } catch (const std::exception&) {
+    // Registration already succeeded; a failed eviction pass is
+    // housekeeping, not a registration error. The cap re-enforces at the
+    // next build; health() counts the miss.
+    eviction_failures_.fetch_add(1);
+  }
   return CloudHandle(state);
 }
 
@@ -284,6 +333,10 @@ SearchService::CloudPtr SearchService::resolve(std::string_view name) const {
 // --- Residency ---------------------------------------------------------------
 
 void SearchService::build_cloud_locked(CloudState& cloud) {
+  // Injection site for the build/publish step, placed before any state
+  // changes hands: a fired fault leaves the cloud exactly as it was
+  // (non-resident, old snapshot intact), so the next build just retries.
+  RTNN_FAILPOINT("service.publish");
   cloud.master = make_cloud_backend(cloud.config, cloud.points.size());
   RTNN_CHECK(cloud.master->caps().snapshot,
              "backend cannot snapshot (caps().snapshot is false)");
@@ -336,6 +389,7 @@ void SearchService::enforce_residency_cap(const CloudState* keep) {
             });
   for (const CloudPtr& victim : candidates) {
     if (resident <= config_.max_resident_clouds) break;
+    RTNN_FAILPOINT("service.evict");
     // try_lock: a victim mid-update or mid-build is hot, not cold — skip
     // it (and avoid any cross-cloud lock cycle).
     std::unique_lock<std::mutex> lock(victim->update_mutex, std::try_to_lock);
@@ -370,13 +424,31 @@ std::shared_ptr<Snapshot> SearchService::pin_snapshot(CloudState& cloud) {
       std::lock_guard<std::mutex> snap_lock(cloud.snapshot_mutex);
       snap = cloud.snapshot;  // a racing writer may have built already
     }
+    if (snap == nullptr && cloud.master != nullptr) {
+      // Quarantined by a watchdog restart: the master is intact, so a
+      // fresh clone (copy-on-write accel sharing) republishes without
+      // paying for a rebuild — and without ever touching the backend
+      // scratch the wedged dispatcher may still hold.
+      auto next = std::make_shared<Snapshot>();
+      next->version = cloud.version.load();
+      next->backend = cloud.master->snapshot();
+      std::lock_guard<std::mutex> snap_lock(cloud.snapshot_mutex);
+      cloud.snapshot = next;
+      snap = std::move(next);
+    }
     if (snap == nullptr) {
       build_cloud_locked(cloud);
       std::lock_guard<std::mutex> snap_lock(cloud.snapshot_mutex);
       snap = cloud.snapshot;
     }
   }
-  enforce_residency_cap(&cloud);
+  try {
+    enforce_residency_cap(&cloud);
+  } catch (const std::exception&) {
+    // An eviction failure never fails the request path: the pinned
+    // snapshot is valid, so serve now and re-enforce at the next build.
+    eviction_failures_.fetch_add(1);
+  }
   return snap;
 }
 
@@ -384,7 +456,8 @@ std::shared_ptr<Snapshot> SearchService::pin_snapshot(CloudState& cloud) {
 
 SearchService::Ticket SearchService::submit_to(const CloudPtr& cloud,
                                                std::span<const Vec3> queries,
-                                               const SearchParams& params) {
+                                               const SearchParams& params,
+                                               const RequestOptions& options) {
   RTNN_CHECK(!queries.empty(), "a request needs queries");
   if (stopped_.load()) throw ServiceError(RejectReason::kShutdown,
                                           "service is shut down");
@@ -397,6 +470,27 @@ SearchService::Ticket SearchService::submit_to(const CloudPtr& cloud,
   state->cloud = cloud;
   state->queries.assign(queries.begin(), queries.end());
   state->params = params;
+  state->deadline = options.deadline;
+
+  // A deadline already over is resolved at the door, before admission —
+  // a dead request must not consume a token. Counted like shed (a miss,
+  // never a served request) since it was never queued.
+  if (state->deadline.has_value() &&
+      std::chrono::steady_clock::now() >= *state->deadline) {
+    state->reason = RejectReason::kDeadline;
+    state->error =
+        "deadline expired before submit on cloud '" + cloud->name + "'";
+    {
+      std::lock_guard<std::mutex> lock(cloud->stats_mutex);
+      ++cloud->stats.deadline_misses;
+    }
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.deadline_misses;
+    }
+    state->done.signal();
+    return Ticket(std::move(state));
+  }
 
   // Admission: shed at the door instead of queueing, so overload cannot
   // grow the dispatcher's backlog. The ticket comes back already
@@ -422,8 +516,10 @@ SearchService::Ticket SearchService::submit_to(const CloudPtr& cloud,
   }
 
   cloud->pending.fetch_add(1);
+  pending_requests_.fetch_add(1);
   if (!queue_.push(state)) {
     cloud->pending.fetch_sub(1);
+    pending_requests_.fetch_sub(1);
     throw ServiceError(RejectReason::kShutdown, "service is shut down");
   }
   cloud->last_used.store(use_clock_.fetch_add(1) + 1);
@@ -441,36 +537,42 @@ void SearchService::count_shed(CloudState& cloud) {
 
 SearchService::Ticket SearchService::submit(const CloudHandle& cloud,
                                             std::span<const Vec3> queries,
-                                            const SearchParams& params) {
-  return submit_to(resolve(cloud), queries, params);
+                                            const SearchParams& params,
+                                            const RequestOptions& options) {
+  return submit_to(resolve(cloud), queries, params, options);
 }
 
 SearchService::Ticket SearchService::submit(std::string_view cloud,
                                             std::span<const Vec3> queries,
-                                            const SearchParams& params) {
-  return submit_to(resolve(cloud), queries, params);
+                                            const SearchParams& params,
+                                            const RequestOptions& options) {
+  return submit_to(resolve(cloud), queries, params, options);
 }
 
 SearchService::Ticket SearchService::submit(std::span<const Vec3> queries,
-                                            const SearchParams& params) {
-  return submit_to(default_cloud(), queries, params);
+                                            const SearchParams& params,
+                                            const RequestOptions& options) {
+  return submit_to(default_cloud(), queries, params, options);
 }
 
 RequestOutcome SearchService::query(const CloudHandle& cloud,
                                     std::span<const Vec3> queries,
-                                    const SearchParams& params) {
-  return submit(cloud, queries, params).get();
+                                    const SearchParams& params,
+                                    const RequestOptions& options) {
+  return submit(cloud, queries, params, options).get();
 }
 
 RequestOutcome SearchService::query(std::string_view cloud,
                                     std::span<const Vec3> queries,
-                                    const SearchParams& params) {
-  return submit(cloud, queries, params).get();
+                                    const SearchParams& params,
+                                    const RequestOptions& options) {
+  return submit(cloud, queries, params, options).get();
 }
 
 RequestOutcome SearchService::query(std::span<const Vec3> queries,
-                                    const SearchParams& params) {
-  return submit(queries, params).get();
+                                    const SearchParams& params,
+                                    const RequestOptions& options) {
+  return submit(queries, params, options).get();
 }
 
 // --- Writer path -------------------------------------------------------------
@@ -487,6 +589,16 @@ void SearchService::update_points(const CloudHandle& cloud,
   }
 
   std::lock_guard<std::mutex> lock(state->update_mutex);
+  // Writer heartbeat: health() flags a writer wedged inside this section
+  // longer than the stall window (the watchdog cannot heal a caller's
+  // thread, only surface it).
+  writer_entered_ns_.store(steady_now_ns());
+  writers_active_.fetch_add(1);
+  struct WriterScope {
+    std::atomic<int>& active;
+    ~WriterScope() { active.fetch_sub(1); }
+  } writer_scope{writers_active_};
+
   state->points.assign(points.begin(), points.end());
 
   NeighborSearch::Report warm_report;
@@ -516,6 +628,12 @@ void SearchService::update_points(const CloudHandle& cloud,
       (void)state->master->search(std::span<const Vec3>(&probe, 1), *warm,
                                   &warm_report);
     }
+
+    // Publish-step injection site, before the version bump: a fired
+    // fault throws to the writer with the old snapshot still published
+    // and the version unchanged — readers never see the half-update, and
+    // a retried update_points() succeeds cleanly.
+    RTNN_FAILPOINT("service.publish");
 
     auto snap = std::make_shared<Snapshot>();
     snap->version = state->version.fetch_add(1) + 1;
@@ -585,25 +703,57 @@ ServiceStats SearchService::stats() const {
 
 // --- Dispatcher --------------------------------------------------------------
 
-void SearchService::dispatch_loop() {
+void SearchService::dispatch_loop(std::uint64_t generation) {
   while (true) {
+    if (dispatcher_stale(generation)) return;  // superseded while idle
     std::optional<RequestPtr> first = queue_.pop();
     if (!first.has_value()) return;  // closed and drained
+    beat();
 
     // The batching tick: the oldest request waits at most max_delay for
     // company; the batch also dispatches as soon as a cap fills.
-    std::vector<RequestPtr> batch{std::move(*first)};
-    std::size_t total = batch.front()->queries.size();
-    const auto deadline = std::chrono::steady_clock::now() + config_.max_delay;
+    // Requests found already expired mid-queue resolve here (kDeadline)
+    // instead of riding into a launch they may no longer start.
+    std::vector<RequestPtr> batch;
+    std::size_t total = 0;
+    const auto admit = [&](RequestPtr request) {
+      if (expired(request)) {
+        expire_request(request);
+        return;
+      }
+      total += request->queries.size();
+      batch.push_back(std::move(request));
+    };
+    admit(std::move(*first));
+    const auto tick_over = std::chrono::steady_clock::now() + config_.max_delay;
     while (batch.size() < config_.max_batch_requests &&
            total < config_.max_batch_queries) {
       const auto now = std::chrono::steady_clock::now();
-      if (now >= deadline) break;
-      std::optional<RequestPtr> next = queue_.pop_for(deadline - now);
+      if (now >= tick_over) break;
+      std::optional<RequestPtr> next = queue_.pop_for(tick_over - now);
       if (!next.has_value()) break;  // tick over (or closing: drain next loop)
-      total += (*next)->queries.size();
-      batch.push_back(std::move(*next));
+      admit(std::move(*next));
     }
+    if (batch.empty()) continue;  // the whole tick expired
+
+    // Tick-level injection site: a kDelay here wedges the dispatcher
+    // with the batch popped (what the watchdog test provokes); a kThrow
+    // fails the tick — typed, never fatal to the thread.
+    try {
+      RTNN_FAILPOINT("service.dispatch.tick");
+    } catch (const std::exception& e) {
+      fail_requests(batch, RejectReason::kBackend, e.what());
+      continue;
+    }
+
+    if (dispatcher_stale(generation)) {
+      // Superseded mid-tick (the watchdog declared this thread stalled
+      // and started a replacement): hand the in-flight batch back so
+      // the replacement serves it — never abandon a ticket.
+      requeue_or_reject(batch);
+      return;
+    }
+    beat();
 
     // One tick may span tenants: requests group per cloud (arrival order
     // preserved within each), and every cloud-group dispatches against
@@ -621,15 +771,97 @@ void SearchService::dispatch_loop() {
         fits->second.push_back(std::move(request));
       }
     }
-    for (const auto& [cloud, group] : by_cloud) dispatch_cloud(cloud, group);
+    for (const auto& [cloud, group] : by_cloud) {
+      try {
+        dispatch_cloud(cloud, group);
+      } catch (const std::exception& e) {
+        // The dispatcher never dies: whatever a dispatch path threw past
+        // its own handlers rejects the group's unserved members, typed.
+        fail_requests(group, RejectReason::kBackend, e.what());
+      }
+      beat();
+    }
   }
 }
 
 void SearchService::reject(const RequestPtr& request, RejectReason reason,
                            const std::string& message) {
+  if (request->done.signaled()) return;  // already served or rejected
   request->reason = reason;
   request->error = message;
   request->done.signal();
+}
+
+void SearchService::fail_requests(const std::vector<RequestPtr>& requests,
+                                  RejectReason reason, const std::string& message) {
+  std::size_t failed = 0;
+  for (const RequestPtr& request : requests) {
+    if (request->done.signaled()) continue;  // served before the throw
+    request->cloud->pending.fetch_sub(1);
+    pending_requests_.fetch_sub(1);
+    {
+      std::lock_guard<std::mutex> lock(request->cloud->stats_mutex);
+      ++request->cloud->stats.requests;
+    }
+    ++failed;
+    reject(request, reason, message);
+  }
+  if (failed > 0) {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    stats_.requests += failed;
+  }
+}
+
+void SearchService::expire_request(const RequestPtr& request) {
+  request->cloud->pending.fetch_sub(1);
+  pending_requests_.fetch_sub(1);
+  {
+    std::lock_guard<std::mutex> lock(request->cloud->stats_mutex);
+    ++request->cloud->stats.requests;
+    ++request->cloud->stats.deadline_misses;
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.requests;
+    ++stats_.deadline_misses;
+  }
+  reject(request, RejectReason::kDeadline,
+         "deadline expired before launch on cloud '" + request->cloud->name + "'");
+}
+
+std::vector<SearchService::RequestPtr> SearchService::drop_expired(
+    const std::vector<RequestPtr>& group) {
+  std::vector<RequestPtr> live;
+  live.reserve(group.size());
+  for (const RequestPtr& request : group) {
+    if (expired(request)) {
+      expire_request(request);
+    } else {
+      live.push_back(request);
+    }
+  }
+  return live;
+}
+
+void SearchService::requeue_or_reject(std::vector<RequestPtr>& batch) {
+  for (RequestPtr& request : batch) {
+    if (request->done.signaled()) continue;
+    if (!queue_.push(request)) {
+      // The queue closed while this thread was wedged: resolve the
+      // ticket here, typed — shutdown semantics, never silence.
+      request->cloud->pending.fetch_sub(1);
+      pending_requests_.fetch_sub(1);
+      {
+        std::lock_guard<std::mutex> lock(request->cloud->stats_mutex);
+        ++request->cloud->stats.requests;
+      }
+      {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++stats_.requests;
+      }
+      reject(request, RejectReason::kShutdown, "service is shut down");
+    }
+  }
 }
 
 void SearchService::dispatch_cloud(const CloudPtr& cloud,
@@ -637,17 +869,8 @@ void SearchService::dispatch_cloud(const CloudPtr& cloud,
   if (cloud->dropped.load()) {
     // drop_cloud() retired the tenant while these were queued: reject
     // the leftovers instead of serving from a released index.
-    for (const RequestPtr& request : group) {
-      cloud->pending.fetch_sub(1);
-      reject(request, RejectReason::kShutdown,
-             "cloud '" + cloud->name + "' was dropped");
-    }
-    {
-      std::lock_guard<std::mutex> lock(cloud->stats_mutex);
-      cloud->stats.requests += group.size();
-    }
-    std::lock_guard<std::mutex> lock(stats_mutex_);
-    stats_.requests += group.size();
+    fail_requests(group, RejectReason::kShutdown,
+                  "cloud '" + cloud->name + "' was dropped");
     return;
   }
 
@@ -655,24 +878,26 @@ void SearchService::dispatch_cloud(const CloudPtr& cloud,
   try {
     snap = pin_snapshot(*cloud);  // builds on demand when not resident
   } catch (const std::exception& e) {
-    for (const RequestPtr& request : group) {
-      cloud->pending.fetch_sub(1);
-      reject(request, RejectReason::kBackend, e.what());
-    }
-    {
-      std::lock_guard<std::mutex> lock(cloud->stats_mutex);
-      cloud->stats.requests += group.size();
-    }
-    std::lock_guard<std::mutex> lock(stats_mutex_);
-    stats_.requests += group.size();
+    fail_requests(group, RejectReason::kBackend, e.what());
     return;
   }
   cloud->last_used.store(use_clock_.fetch_add(1) + 1);
 
+  // Launch-step injection site, after the pin: a kDelay here holds the
+  // snapshot reference across an eviction (the LRU regression test), a
+  // kThrow fails the group typed via the dispatcher's catch-all.
+  RTNN_FAILPOINT("service.dispatch.launch");
+
+  // The last deadline gate before work starts: the demand build above
+  // may have taken longer than some member's budget allowed. Past this
+  // point a request is launched, and a launch is never cancelled.
+  const std::vector<RequestPtr> live = drop_expired(group);
+  if (live.empty()) return;
+
   if (cloud->config.batch_reorder) {
     // The optimizer path: one bin/reorder/dedup pass over the cloud's
     // whole tick, one launch per homogeneous bin.
-    dispatch_optimized(*cloud, snap, group);
+    dispatch_optimized(*cloud, snap, live);
     return;
   }
 
@@ -681,7 +906,7 @@ void SearchService::dispatch_cloud(const CloudPtr& cloud,
   // splitter shares); incompatible requests still dispatch this tick,
   // as their own groups, in arrival order.
   std::vector<std::vector<RequestPtr>> groups;
-  for (const RequestPtr& request : group) {
+  for (const RequestPtr& request : live) {
     auto fits = std::find_if(groups.begin(), groups.end(), [&](const auto& g) {
       return g.front()->params.batch_key() == request->params.batch_key();
     });
@@ -714,6 +939,7 @@ void SearchService::dispatch_group(CloudState& cloud,
   const SearchParams& params = group.front()->params;
   NeighborSearch::Report report;
   bool served = false;
+  bool degraded = false;
   try {
     // One launch for the whole group; per-request results scatter out of
     // the row-addressed batch result.
@@ -726,6 +952,7 @@ void SearchService::dispatch_group(CloudState& cloud,
       outcome.snapshot_version = snap->version;
       outcome.batch_requests = static_cast<std::uint32_t>(group.size());
       outcome.batch_queries = merged.size();
+      degraded = note_degradation(*snap, outcome) || degraded;
     }
     served = true;
   } catch (const std::exception& e) {
@@ -742,6 +969,7 @@ void SearchService::dispatch_group(CloudState& cloud,
     // rows: `queries` means rows actually served, so it stays in step
     // with the aggregate report's ray counter.
     if (served) stats.queries += merged.size();
+    if (degraded) stats.degraded += group.size();
     stats.report += report;
     // Only params the backend accepted may warm the writer path: a
     // rejected request must not poison the next update's probe search.
@@ -758,6 +986,7 @@ void SearchService::dispatch_group(CloudState& cloud,
   // Signal last: once `done` fires the waiter may destroy the state.
   for (const RequestPtr& request : group) {
     cloud.pending.fetch_sub(1);
+    pending_requests_.fetch_sub(1);
     request->done.signal();
   }
 }
@@ -780,6 +1009,7 @@ void SearchService::dispatch_optimized(CloudState& cloud,
   for (const BatchBin& bin : plan.bins) {
     NeighborSearch::Report report;
     bool served = false;
+    bool degraded = false;
     try {
       // One launch per homogeneous bin, over the Morton-ordered
       // representatives only; the scatter fans representative rows back
@@ -796,6 +1026,7 @@ void SearchService::dispatch_optimized(CloudState& cloud,
         outcome.snapshot_version = snap->version;
         outcome.batch_requests = static_cast<std::uint32_t>(bin.request_ids.size());
         outcome.batch_queries = bin.merged_queries;
+        degraded = note_degradation(*snap, outcome) || degraded;
       }
       served = true;
     } catch (const std::exception& e) {
@@ -813,6 +1044,7 @@ void SearchService::dispatch_optimized(CloudState& cloud,
       // Served rows count what the clients submitted (pre-dedup): the
       // report's ray counter sees queries - queries_deduped of them.
       if (served) stats.queries += bin.merged_queries;
+      if (degraded) stats.degraded += bin.request_ids.size();
       stats.report += report;
       if (served && warm != nullptr) *warm = bin.params;
     };
@@ -826,8 +1058,10 @@ void SearchService::dispatch_optimized(CloudState& cloud,
     }
     for (const std::size_t id : bin.request_ids) {
       cloud.pending.fetch_sub(1);
+      pending_requests_.fetch_sub(1);
       batch[id]->done.signal();
     }
+    beat();  // heartbeat per launch: a multi-bin tick is alive, not stalled
   }
 
   // Tick-level charge: the optimizer ran once for all bins, so its wall
@@ -839,6 +1073,106 @@ void SearchService::dispatch_optimized(CloudState& cloud,
   }
   std::lock_guard<std::mutex> lock(stats_mutex_);
   stats_.report.time.opt += plan.seconds;
+}
+
+// --- Robustness: degradation, watchdog, health -------------------------------
+
+bool SearchService::note_degradation(const Snapshot& snap, RequestOutcome& outcome) {
+  // Only the dispatcher touches a snapshot's backend, so reading the
+  // per-search scratch right after the launch is race-free.
+  const auto* sharded =
+      dynamic_cast<const engine::ShardedBackend*>(snap.backend.get());
+  if (sharded == nullptr || sharded->last_dropped_shards().empty()) return false;
+  outcome.degraded = true;
+  outcome.dropped_shards = sharded->last_dropped_shards();
+  return true;
+}
+
+void SearchService::watchdog_loop() {
+  std::uint64_t last_beat = dispatcher_beat_.load();
+  // After a restart, detection re-arms only at the replacement's first
+  // beat: until the stale thread hands its batch back, the work is
+  // outstanding but the replacement is legitimately idle, and restarting
+  // again would only churn threads.
+  bool armed = true;
+  std::optional<std::chrono::steady_clock::time_point> stall_since;
+  std::unique_lock<std::mutex> lock(watchdog_mutex_);
+  while (!stopped_.load()) {
+    watchdog_cv_.wait_for(lock, config_.watchdog_interval);
+    if (stopped_.load()) return;
+
+    // Stalled = work outstanding AND no heartbeat progress for a full
+    // stall window *observed by this loop*. An idle dispatcher does not
+    // beat — the pending check keeps idleness from reading as a stall.
+    const std::uint64_t now_beat = dispatcher_beat_.load();
+    if (now_beat != last_beat) {
+      last_beat = now_beat;
+      stall_since.reset();
+      armed = true;
+      dispatcher_stalled_.store(false);
+      continue;
+    }
+    if (!armed || pending_requests_.load() == 0) {
+      stall_since.reset();
+      continue;
+    }
+    const auto now = std::chrono::steady_clock::now();
+    if (!stall_since.has_value()) {
+      stall_since = now;
+      continue;
+    }
+    if (now - *stall_since >= config_.stall_timeout) {
+      dispatcher_stalled_.store(true);
+      restart_dispatcher();
+      stall_since.reset();
+      armed = false;
+      last_beat = dispatcher_beat_.load();
+    }
+  }
+}
+
+void SearchService::restart_dispatcher() {
+  // Quarantine every published snapshot first: the wedged thread may be
+  // inside a launch holding backend scratch, so the replacement must
+  // never serve from the same backend objects. Masters are untouched —
+  // pin_snapshot() republishes a fresh clone on the next dispatch.
+  std::vector<CloudPtr> clouds;
+  {
+    std::lock_guard<std::mutex> lock(registry_mutex_);
+    clouds = clouds_;
+  }
+  for (const CloudPtr& cloud : clouds) {
+    std::lock_guard<std::mutex> lock(cloud->snapshot_mutex);
+    cloud->snapshot.reset();
+  }
+
+  std::lock_guard<std::mutex> lock(dispatcher_mutex_);
+  // The generation bump is what retires the old thread: it observes
+  // dispatcher_stale() at its next check, re-enqueues its in-flight
+  // batch, and exits; shutdown() joins it from retired_dispatchers_.
+  const std::uint64_t next =
+      dispatcher_generation_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  retired_dispatchers_.push_back(std::move(dispatcher_));
+  dispatcher_ = std::thread([this, next] { dispatch_loop(next); });
+  dispatcher_restarts_.fetch_add(1);
+  dispatcher_stalled_.store(false);
+}
+
+ServiceHealth SearchService::health() const {
+  ServiceHealth health;
+  health.dispatcher_alive = !dispatcher_stalled_.load();
+  health.dispatcher_restarts = dispatcher_restarts_.load();
+  health.eviction_failures = eviction_failures_.load();
+  health.queue_depth = queue_.size();
+  health.pending_requests = pending_requests_.load();
+  if (config_.stall_timeout.count() > 0 && writers_active_.load() > 0) {
+    const std::int64_t held_ns = steady_now_ns() - writer_entered_ns_.load();
+    health.writer_stalled =
+        held_ns > std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      config_.stall_timeout)
+                      .count();
+  }
+  return health;
 }
 
 }  // namespace rtnn::service

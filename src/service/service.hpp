@@ -43,20 +43,59 @@
 //     being queued, so overload cannot grow the backlog and admitted
 //     requests keep a flat p99 (measured by bench/serving_sharded.cpp).
 //
-// Error-state contract (Ticket::get() / try_get() throw ServiceError;
-// reason() says which door refused):
-//   * RejectReason::kBackend — the cloud's backend rejected the request
-//     after dispatch: params it cannot serve (caps mismatch, approximate
-//     knobs on an exact backend). The ticket was admitted and dispatched;
-//     only its batch bin failed.
-//   * RejectReason::kAdmission — shed at submit() by the cloud's token
-//     bucket or queue-depth cap. Never queued, never dispatched; retry
-//     later or at a lower rate.
-//   * RejectReason::kShutdown — the cloud was dropped while the request
-//     was pending (drop_cloud rejects the queue's leftovers instead of
-//     serving them). submit() itself throws ServiceError(kShutdown) once
-//     shutdown() ran or the handle's cloud was dropped; a shutdown drain
-//     still *serves* requests that were admitted in time.
+// Error-state contract. Ticket::get()/try_get() throw ServiceError;
+// reason() says which door refused. The full table:
+//
+//   reason      | thrown from          | meaning / when
+//   ------------|----------------------|----------------------------------
+//   kBackend    | get(), try_get()     | Admitted and dispatched, but the
+//               |                      | cloud's backend rejected the bin:
+//               |                      | params it cannot serve (caps
+//               |                      | mismatch, approximate knobs on an
+//               |                      | exact backend), an exhausted
+//               |                      | shard with allow_degraded off, or
+//               |                      | an injected fault. Only the
+//               |                      | request's bin failed; the tick's
+//               |                      | other bins still serve.
+//   kAdmission  | get(), try_get()     | Shed at submit() by the cloud's
+//               |                      | token bucket or queue-depth cap.
+//               |                      | Never queued, never dispatched;
+//               |                      | retry later or at a lower rate.
+//   kDeadline   | get(), try_get()     | The request's deadline expired
+//               |                      | before its batch launched — at
+//               |                      | submit() (already expired), in
+//               |                      | the dispatcher's queue, or at
+//               |                      | the pre-launch check. A request
+//               |                      | whose launch already started is
+//               |                      | served even if it finishes late.
+//   kShutdown   | submit(), query(),   | The service shut down or the
+//               | update_points(),     | cloud was dropped. Thrown
+//               | get(), try_get()     | directly by entry points once
+//               |                      | stopped; thrown from get() when
+//               |                      | the drop landed while the
+//               |                      | request was queued (drop_cloud
+//               |                      | rejects the queue's leftovers
+//               |                      | instead of serving them). A
+//               |                      | shutdown drain still *serves*
+//               |                      | requests admitted in time.
+//
+// Never silent: every admitted ticket is eventually signaled — served,
+// or rejected with one of the reasons above — even across a watchdog
+// dispatcher restart. A degraded answer (shards dropped under
+// allow_degraded) is *served*, with RequestOutcome::degraded set and the
+// dropped shard ids listed, never thrown.
+//
+// Robustness layer (PR 8): every request may carry a deadline
+// (RequestOptions), the sharded backend retries failing shards with
+// backoff and can serve flagged partial results (CloudConfig::
+// shard_max_attempts / shard_backoff / shard_allow_degraded), a watchdog
+// restarts a stalled dispatcher (ServiceConfig::stall_timeout) and
+// health() reports liveness, and deterministic failpoints
+// (core/failpoint.hpp) are compiled into the scatter-gather path
+// ("sharded.shard_search"), snapshot publish ("service.publish"), LRU
+// eviction ("service.evict"), and the dispatcher tick
+// ("service.dispatch.tick", "service.dispatch.launch") so every one of
+// these recovery paths is testable on demand (tests/test_chaos.cpp).
 //
 //   SearchService service;                         // multi-tenant form
 //   CloudHandle city = service.register_cloud("city", city_points, {});
@@ -93,6 +132,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -120,6 +160,7 @@ enum class RejectReason : std::uint8_t {
   kBackend,    // dispatched, but the cloud's backend rejected the params
   kAdmission,  // shed at submit() by the token bucket / queue-depth cap
   kShutdown,   // service shut down or cloud dropped before serving
+  kDeadline,   // the request's deadline expired before its launch started
 };
 
 /// What Ticket::get()/try_get() (and refused submits) throw. Derives
@@ -150,6 +191,22 @@ struct ServiceConfig {
   /// evicts the least-recently-used other cloud (its points survive and
   /// it rebuilds on the next request). 0 = never evict.
   std::size_t max_resident_clouds = 0;
+
+  // --- Watchdog (self-healing dispatch) ---
+
+  /// A dispatcher with work outstanding whose heartbeat does not advance
+  /// for this long is declared stalled: the watchdog quarantines the
+  /// published snapshots (so the replacement never shares backend scratch
+  /// with the wedged thread), starts a fresh dispatcher, and the stale
+  /// one hands its in-flight requests back to the queue when it wakes —
+  /// tickets are always resolved, never abandoned. 0 (the default)
+  /// disables the watchdog thread entirely. The timeout must comfortably
+  /// exceed the longest legitimate batch: a restart while the old
+  /// dispatcher is genuinely inside a launch re-runs that work.
+  std::chrono::milliseconds stall_timeout{0};
+  /// How often the watchdog samples the heartbeat (also the health()
+  /// staleness granularity). Only meaningful with stall_timeout > 0.
+  std::chrono::milliseconds watchdog_interval{20};
 };
 
 /// Per-cloud configuration, fixed at register_cloud().
@@ -178,6 +235,20 @@ struct CloudConfig {
   std::size_t shard_threshold = 0;
   /// Upper bound on the split, whatever the cloud size.
   std::uint32_t max_shards = 16;
+
+  // --- Per-shard fault isolation (engine::ShardingOptions; the
+  // degradation ladder: retry -> degrade-or-fail) ---
+
+  /// Search attempts per shard per launch (1 = no retry): a throwing
+  /// shard is retried this many times before the failure policy applies.
+  std::uint32_t shard_max_attempts = 1;
+  /// Sleep before the first shard retry; doubles per attempt.
+  std::chrono::microseconds shard_backoff{0};
+  /// What happens when a shard exhausts its attempts: false (default) =
+  /// the whole bin fails typed (ServiceError(kBackend)); true = the
+  /// shard is dropped from the gather and the request *serves* with
+  /// RequestOutcome::degraded set and the dropped shard ids listed.
+  bool shard_allow_degraded = false;
 
   // --- Admission control (see admission.hpp) ---
 
@@ -235,6 +306,24 @@ struct ServiceOptions {
   }
 };
 
+/// Per-request options at submit() time.
+struct RequestOptions {
+  /// Latest instant the request's launch may still start. Expired
+  /// requests are dropped — at submit(), mid-queue, or at the pre-launch
+  /// check — with ServiceError(kDeadline) and counted in
+  /// stats().deadline_misses; a launch already running is never
+  /// cancelled, so a request can finish slightly after its deadline but
+  /// never *start* after it. nullopt = no deadline.
+  std::optional<std::chrono::steady_clock::time_point> deadline;
+
+  /// Convenience: a deadline `timeout` from now.
+  static RequestOptions within(std::chrono::nanoseconds timeout) {
+    RequestOptions options;
+    options.deadline = std::chrono::steady_clock::now() + timeout;
+    return options;
+  }
+};
+
 /// Everything a served request gets back.
 struct RequestOutcome {
   NeighborResult result;
@@ -251,6 +340,12 @@ struct RequestOutcome {
   /// before dedup — what the clients submitted, not what was searched).
   std::uint32_t batch_requests = 0;
   std::size_t batch_queries = 0;
+  /// True when the answer is a flagged partial: one or more shards
+  /// exhausted their retry budget and were dropped from the gather
+  /// (CloudConfig::shard_allow_degraded). The result is exact over the
+  /// surviving shards' points; `dropped_shards` lists who dropped out.
+  bool degraded = false;
+  std::vector<std::uint32_t> dropped_shards;
 };
 
 /// Exactly-summed totals — service-wide from stats(), per tenant from
@@ -266,9 +361,37 @@ struct ServiceStats {
                                // (not counted in `requests`: never dispatched)
   std::uint64_t builds = 0;    // index builds (registration, demand, rebuild)
   std::uint64_t evictions = 0; // resident indexes evicted by the LRU cap
+  std::uint64_t deadline_misses = 0;  // requests dropped on an expired deadline
+                                      // (in `requests` when dropped after being
+                                      // queued; like `shed` when dropped at the
+                                      // submit() door)
+  std::uint64_t degraded = 0;  // requests served as flagged partials
+                               // (shards dropped; subset of `requests`)
   /// Merged per-batch (and update-path warm) reports: times and counters
   /// sum exactly; sah_inflation is the worst observed.
   NeighborSearch::Report report;
+};
+
+/// Liveness snapshot from SearchService::health() — what an external
+/// load balancer (or the watchdog's own log line) reads. Computed on
+/// demand; meaningful whether or not the watchdog thread is running.
+struct ServiceHealth {
+  /// False while the dispatcher has work outstanding but its heartbeat
+  /// has not advanced for a full stall window (always true when
+  /// stall_timeout is 0: no stall definition, no verdict).
+  bool dispatcher_alive = true;
+  /// True while some update_points() call has been inside its cloud's
+  /// writer section longer than the stall window. The watchdog cannot
+  /// heal a caller's thread; it surfaces the stall here instead.
+  bool writer_stalled = false;
+  std::uint64_t dispatcher_restarts = 0;  // watchdog recoveries so far
+  std::uint64_t eviction_failures = 0;    // LRU passes that threw (request
+                                          // paths continue; cap enforcement
+                                          // retries on the next build)
+  std::size_t queue_depth = 0;            // requests waiting in the dispatcher
+  std::size_t pending_requests = 0;       // admitted, not yet signaled
+
+  bool healthy() const { return dispatcher_alive && !writer_stalled; }
 };
 
 namespace detail {
@@ -367,19 +490,21 @@ class SearchService {
   /// Enqueues a request against `cloud`; the dispatcher coalesces it
   /// with other pending requests of that cloud into one batched launch.
   /// Sheds instead of queueing when the cloud's admission policy says so
-  /// (the returned ticket is already rejected with kAdmission). Throws
-  /// ServiceError(kShutdown) once the service is shut down or the cloud
-  /// dropped.
+  /// (the returned ticket is already rejected with kAdmission); a
+  /// request whose RequestOptions::deadline is already over, or expires
+  /// before its launch starts, resolves to ServiceError(kDeadline).
+  /// Throws ServiceError(kShutdown) once the service is shut down or the
+  /// cloud dropped.
   Ticket submit(const CloudHandle& cloud, std::span<const Vec3> queries,
-                const SearchParams& params);
+                const SearchParams& params, const RequestOptions& options = {});
   Ticket submit(std::string_view cloud, std::span<const Vec3> queries,
-                const SearchParams& params);
+                const SearchParams& params, const RequestOptions& options = {});
 
   /// Synchronous convenience: submit() + get().
   RequestOutcome query(const CloudHandle& cloud, std::span<const Vec3> queries,
-                       const SearchParams& params);
+                       const SearchParams& params, const RequestOptions& options = {});
   RequestOutcome query(std::string_view cloud, std::span<const Vec3> queries,
-                       const SearchParams& params);
+                       const SearchParams& params, const RequestOptions& options = {});
 
   /// Writer path: moves `cloud` to `points` and publishes its next
   /// snapshot. Same count = a move (dynamic backends refit per the cost
@@ -401,14 +526,20 @@ class SearchService {
 
   // --- Single-cloud compatibility surface (the "default" cloud) ---
 
-  Ticket submit(std::span<const Vec3> queries, const SearchParams& params);
-  RequestOutcome query(std::span<const Vec3> queries, const SearchParams& params);
+  Ticket submit(std::span<const Vec3> queries, const SearchParams& params,
+                const RequestOptions& options = {});
+  RequestOutcome query(std::span<const Vec3> queries, const SearchParams& params,
+                       const RequestOptions& options = {});
   void update_points(std::span<const Vec3> points);
   std::uint64_t snapshot_version() const;
   std::size_t point_count() const;
 
   /// Service-wide aggregate (every cloud; exactly-summed counters).
   ServiceStats stats() const;
+
+  /// Liveness snapshot: dispatcher heartbeat verdict, writer stall flag,
+  /// watchdog restart count, queue depth. Safe from any thread; cheap.
+  ServiceHealth health() const;
 
   /// Stops accepting requests, serves everything already queued
   /// (requests whose cloud was dropped are rejected with kShutdown),
@@ -423,7 +554,7 @@ class SearchService {
   CloudPtr resolve(const CloudHandle& handle) const;
   CloudPtr resolve(std::string_view name) const;
   Ticket submit_to(const CloudPtr& cloud, std::span<const Vec3> queries,
-                   const SearchParams& params);
+                   const SearchParams& params, const RequestOptions& options);
 
   /// Builds `cloud`'s master + snapshot from its stored points (caller
   /// must hold the cloud's update mutex), then enforces the residency
@@ -435,7 +566,7 @@ class SearchService {
   /// The cloud's current snapshot, building on demand if not resident.
   std::shared_ptr<detail::Snapshot> pin_snapshot(detail::CloudState& cloud);
 
-  void dispatch_loop();
+  void dispatch_loop(std::uint64_t generation);
   void dispatch_cloud(const CloudPtr& cloud, const std::vector<RequestPtr>& group);
   void dispatch_group(detail::CloudState& cloud,
                       const std::shared_ptr<detail::Snapshot>& snap,
@@ -443,9 +574,37 @@ class SearchService {
   void dispatch_optimized(detail::CloudState& cloud,
                           const std::shared_ptr<detail::Snapshot>& snap,
                           const std::vector<RequestPtr>& batch);
-  static void reject(const RequestPtr& request, RejectReason reason,
+  void reject(const RequestPtr& request, RejectReason reason,
+              const std::string& message);
+  /// Rejects every not-yet-signaled member of `requests` (any mix of
+  /// clouds), settling their pending counts and stats — the dispatcher's
+  /// catch-all, so a throwing dispatch path never kills the thread or
+  /// abandons a ticket.
+  void fail_requests(const std::vector<RequestPtr>& requests, RejectReason reason,
                      const std::string& message);
+  /// Resolves one queued request as a deadline miss (typed kDeadline,
+  /// counted in requests + deadline_misses).
+  void expire_request(const RequestPtr& request);
   void count_shed(detail::CloudState& cloud);
+  /// Drops `group` members whose deadline is over (typed kDeadline,
+  /// counted as misses); returns the survivors in arrival order.
+  std::vector<RequestPtr> drop_expired(const std::vector<RequestPtr>& group);
+  /// Annotates the outcome with the snapshot backend's degradation
+  /// verdict (sharded clouds only) and returns whether it degraded.
+  static bool note_degradation(const detail::Snapshot& snap, RequestOutcome& outcome);
+
+  // --- Watchdog (self-healing dispatch) ---
+  void watchdog_loop();
+  /// Declares the current dispatcher stalled: quarantines published
+  /// snapshots, bumps the generation (the stale thread re-enqueues its
+  /// in-flight batch when it wakes), and starts a replacement.
+  void restart_dispatcher();
+  /// A stale dispatcher hands its popped-but-unserved requests back.
+  void requeue_or_reject(std::vector<RequestPtr>& batch);
+  bool dispatcher_stale(std::uint64_t generation) const {
+    return dispatcher_generation_.load(std::memory_order_acquire) != generation;
+  }
+  void beat() { dispatcher_beat_.fetch_add(1, std::memory_order_release); }
 
   ServiceConfig config_;
 
@@ -454,9 +613,30 @@ class SearchService {
   CloudPtr default_;              // the compat constructor's cloud
 
   WorkQueue<RequestPtr> queue_;
-  std::thread dispatcher_;
   std::atomic<bool> stopped_{false};
   std::mutex lifecycle_mutex_;  // serializes shutdown()
+
+  /// Dispatcher lifecycle, all guarded by dispatcher_mutex_ except the
+  /// atomics: the current thread, the generation the current thread was
+  /// started with, and stale predecessors awaiting join.
+  std::mutex dispatcher_mutex_;
+  std::thread dispatcher_;
+  std::vector<std::thread> retired_dispatchers_;
+  std::atomic<std::uint64_t> dispatcher_generation_{0};
+  std::atomic<std::uint64_t> dispatcher_beat_{0};   // advances once per tick
+  std::atomic<std::uint64_t> dispatcher_restarts_{0};
+  std::atomic<bool> dispatcher_stalled_{false};     // watchdog's last verdict
+  std::atomic<std::size_t> pending_requests_{0};    // admitted, not signaled
+  std::atomic<std::uint64_t> eviction_failures_{0};
+
+  /// Writer liveness: how many update_points() calls are inside a writer
+  /// section, and when the most recent one entered (steady_clock ns).
+  std::atomic<int> writers_active_{0};
+  std::atomic<std::int64_t> writer_entered_ns_{0};
+
+  std::thread watchdog_;
+  std::mutex watchdog_mutex_;
+  std::condition_variable watchdog_cv_;
 
   std::atomic<std::uint64_t> use_clock_{0};  // LRU ordering for eviction
 

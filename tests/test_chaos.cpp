@@ -1,0 +1,715 @@
+// Chaos suite: every recovery path in the serving stack driven by the
+// deterministic failpoints compiled into production code
+// (core/failpoint.hpp; the site names are listed in service.hpp's header
+// comment). Each scenario arms a site, provokes the failure, and asserts
+// the contracted behavior: typed errors, flagged partials, exact stats,
+// watchdog recovery — and above all that no ticket is ever abandoned.
+// Carries the "chaos" ctest label; CI runs it under both ASan and TSan.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/failpoint.hpp"
+#include "core/rng.hpp"
+#include "engine/sharded_backend.hpp"
+#include "service/service.hpp"
+#include "test_util.hpp"
+
+using namespace rtnn;
+using namespace rtnn::service;
+using fail::Action;
+using fail::FailConfig;
+using fail::FailpointRegistry;
+using fail::InjectedFault;
+using fail::ScopedFailpoint;
+using rtnn::testing::CloudKind;
+using rtnn::testing::make_cloud;
+using rtnn::testing::typical_radius;
+
+using namespace std::chrono_literals;
+
+namespace {
+
+constexpr std::size_t kCloudSize = 384;
+constexpr std::uint64_t kSeed = 4242;
+
+SearchParams knn_params(std::uint32_t k = 8) {
+  SearchParams params;
+  params.mode = SearchMode::kKnn;
+  params.radius = typical_radius(CloudKind::kUniform);
+  params.k = k;
+  params.opts = OptimizationFlags::none();
+  return params;
+}
+
+/// A multi-shard backend over a small uniform cloud.
+engine::ShardedBackend make_sharded(const std::vector<Vec3>& points,
+                                    engine::ShardingOptions options = {}) {
+  options.shard_threshold = 64;
+  options.max_shards = 6;
+  engine::ShardedBackend backend("rtnn", options);
+  backend.set_points(points);
+  return backend;
+}
+
+/// A cloud config that shards the test cloud and carries the given
+/// fault-isolation policy.
+CloudConfig sharded_cloud_config(std::uint32_t attempts, bool degraded,
+                                 std::chrono::microseconds backoff = 0us) {
+  CloudConfig config;
+  config.shard_threshold = 64;
+  config.max_shards = 6;
+  config.shard_max_attempts = attempts;
+  config.shard_backoff = backoff;
+  config.shard_allow_degraded = degraded;
+  return config;
+}
+
+std::size_t total_neighbors(const NeighborResult& result) {
+  std::size_t total = 0;
+  for (std::size_t q = 0; q < result.num_queries(); ++q) total += result.count(q);
+  return total;
+}
+
+class ChaosTest : public ::testing::Test {
+ protected:
+  void TearDown() override { FailpointRegistry::instance().disarm_all(); }
+
+  std::vector<Vec3> points_ = make_cloud(CloudKind::kUniform, kCloudSize, kSeed);
+  std::vector<Vec3> queries_ =
+      std::vector<Vec3>(points_.begin(), points_.begin() + 48);
+};
+
+}  // namespace
+
+// --- Scatter-gather fault isolation (engine::ShardedBackend) -----------------
+
+TEST_F(ChaosTest, ShardFaultWithoutRetryFailsTyped) {
+  engine::ShardedBackend backend = make_sharded(points_);
+  ASSERT_GT(backend.shard_count(), 1u);
+  FailConfig config;
+  config.fire_on_hit = 1;
+  config.message = "injected shard outage";
+  ScopedFailpoint fp("sharded.shard_search", config);
+  try {
+    (void)backend.search(queries_, knn_params());
+    FAIL() << "expected a typed shard failure";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("shard"), std::string::npos);
+    EXPECT_NE(what.find("injected shard outage"), std::string::npos);
+  }
+}
+
+TEST_F(ChaosTest, RetryHealsATransientShardFault) {
+  engine::ShardingOptions options;
+  options.max_attempts = 2;
+  engine::ShardedBackend backend = make_sharded(points_, options);
+  ASSERT_GT(backend.shard_count(), 1u);
+  const NeighborResult want = backend.search(queries_, knn_params());
+
+  FailConfig config;
+  config.fire_on_hit = 1;  // first attempt of the first routed shard
+  ScopedFailpoint fp("sharded.shard_search", config);
+  engine::SearchBackend::Report report;
+  const NeighborResult got = backend.search(queries_, knn_params(), &report);
+  EXPECT_EQ(report.shard_retries, 1u);
+  EXPECT_EQ(report.shards_dropped, 0u);
+  EXPECT_TRUE(backend.last_dropped_shards().empty());
+  ASSERT_EQ(got.num_queries(), want.num_queries());
+  for (std::size_t q = 0; q < got.num_queries(); ++q) {
+    EXPECT_EQ(got.count(q), want.count(q)) << q;
+  }
+}
+
+TEST_F(ChaosTest, ExhaustedShardDropsFromTheGatherWhenDegradedAllowed) {
+  engine::ShardingOptions options;
+  options.allow_degraded = true;
+  engine::ShardedBackend backend = make_sharded(points_, options);
+  ASSERT_GT(backend.shard_count(), 1u);
+  // Query every point: each shard contributes at least its own points,
+  // so dropping one strictly shrinks the answer.
+  const NeighborResult full = backend.search(points_, knn_params());
+
+  FailConfig config;
+  config.fire_on_hit = 1;
+  ScopedFailpoint fp("sharded.shard_search", config);
+  engine::SearchBackend::Report report;
+  const NeighborResult partial = backend.search(points_, knn_params(), &report);
+  EXPECT_EQ(report.shards_dropped, 1u);
+  ASSERT_EQ(backend.last_dropped_shards().size(), 1u);
+  ASSERT_EQ(partial.num_queries(), full.num_queries());
+  for (std::size_t q = 0; q < partial.num_queries(); ++q) {
+    EXPECT_LE(partial.count(q), full.count(q)) << q;
+  }
+  EXPECT_LT(total_neighbors(partial), total_neighbors(full));
+}
+
+TEST_F(ChaosTest, EveryShardDownStillReturnsAnEmptyGather) {
+  engine::ShardingOptions options;
+  options.allow_degraded = true;
+  engine::ShardedBackend backend = make_sharded(points_, options);
+  ASSERT_GT(backend.shard_count(), 1u);
+  ScopedFailpoint fp("sharded.shard_search", {});  // every hit fires
+  const NeighborResult result = backend.search(points_, knn_params());
+  EXPECT_EQ(total_neighbors(result), 0u);
+  EXPECT_EQ(backend.last_dropped_shards().size(), backend.shard_count());
+}
+
+TEST_F(ChaosTest, DroppedShardScratchResetsOnTheNextSearch) {
+  engine::ShardingOptions options;
+  options.allow_degraded = true;
+  engine::ShardedBackend backend = make_sharded(points_, options);
+  {
+    FailConfig config;
+    config.fire_on_hit = 1;
+    ScopedFailpoint fp("sharded.shard_search", config);
+    (void)backend.search(queries_, knn_params());
+    EXPECT_FALSE(backend.last_dropped_shards().empty());
+  }
+  (void)backend.search(queries_, knn_params());
+  EXPECT_TRUE(backend.last_dropped_shards().empty());
+}
+
+TEST_F(ChaosTest, RetryBackoffIsObserved) {
+  engine::ShardingOptions options;
+  options.max_attempts = 3;
+  options.backoff = 3ms;
+  engine::ShardedBackend backend = make_sharded(points_, options);
+  ScopedFailpoint fp("sharded.shard_search", {});  // every attempt fails
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_THROW((void)backend.search(queries_, knn_params()), Error);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  // The first failing shard alone sleeps 3ms + 6ms between its attempts.
+  EXPECT_GE(elapsed, 9ms);
+}
+
+TEST_F(ChaosTest, RetryCountersAggregateAcrossShards) {
+  engine::ShardingOptions options;
+  options.max_attempts = 2;
+  options.allow_degraded = true;
+  engine::ShardedBackend backend = make_sharded(points_, options);
+  ASSERT_GT(backend.shard_count(), 1u);
+  ScopedFailpoint fp("sharded.shard_search", {});  // everything fails
+  engine::SearchBackend::Report report;
+  (void)backend.search(points_, knn_params(), &report);
+  const auto dropped = static_cast<std::uint64_t>(backend.last_dropped_shards().size());
+  EXPECT_EQ(dropped, backend.shard_count());
+  EXPECT_EQ(report.shards_dropped, dropped);
+  EXPECT_EQ(report.shard_retries, dropped);  // one retried attempt per shard
+}
+
+// --- Service: shard faults surface per the cloud's policy --------------------
+
+TEST_F(ChaosTest, ServiceShardFaultRejectsKBackend) {
+  SearchService service;
+  CloudHandle cloud = service.register_cloud(
+      "chaos", points_, sharded_cloud_config(/*attempts=*/1, /*degraded=*/false));
+  ScopedFailpoint fp("sharded.shard_search", {});
+  try {
+    (void)service.query(cloud, queries_, knn_params());
+    FAIL() << "expected ServiceError";
+  } catch (const ServiceError& e) {
+    EXPECT_EQ(e.reason(), RejectReason::kBackend);
+  }
+  FailpointRegistry::instance().disarm("sharded.shard_search");
+  EXPECT_NO_THROW((void)service.query(cloud, queries_, knn_params()))
+      << "the dispatcher must outlive an injected backend fault";
+}
+
+TEST_F(ChaosTest, ServiceRetryPolicyHealsATransientFault) {
+  SearchService service;
+  CloudHandle cloud = service.register_cloud(
+      "chaos", points_, sharded_cloud_config(/*attempts=*/3, /*degraded=*/false));
+  FailConfig config;
+  config.fire_on_hit = 1;
+  ScopedFailpoint fp("sharded.shard_search", config);
+  const RequestOutcome outcome = service.query(cloud, queries_, knn_params());
+  EXPECT_FALSE(outcome.degraded);
+  EXPECT_EQ(outcome.report.shard_retries, 1u);
+  EXPECT_EQ(service.stats(cloud).report.shard_retries, 1u);
+}
+
+TEST_F(ChaosTest, ServiceDegradedOutcomeIsServedAndFlagged) {
+  SearchService service;
+  CloudHandle cloud = service.register_cloud(
+      "chaos", points_, sharded_cloud_config(/*attempts=*/1, /*degraded=*/true));
+  FailConfig config;
+  config.fire_on_hit = 1;
+  ScopedFailpoint fp("sharded.shard_search", config);
+  const RequestOutcome outcome = service.query(cloud, queries_, knn_params());
+  EXPECT_TRUE(outcome.degraded);
+  EXPECT_EQ(outcome.dropped_shards.size(), 1u);
+  EXPECT_EQ(outcome.report.shards_dropped, 1u);
+  const ServiceStats stats = service.stats(cloud);
+  EXPECT_EQ(stats.degraded, 1u);
+  EXPECT_EQ(stats.requests, 1u);
+
+  // Healed: the next request serves whole and is not counted degraded.
+  FailpointRegistry::instance().disarm("sharded.shard_search");
+  const RequestOutcome healed = service.query(cloud, queries_, knn_params());
+  EXPECT_FALSE(healed.degraded);
+  EXPECT_TRUE(healed.dropped_shards.empty());
+  EXPECT_EQ(service.stats(cloud).degraded, 1u);
+}
+
+// --- Service: publish, eviction, and dispatch-site faults --------------------
+
+TEST_F(ChaosTest, PublishFaultFailsTheWriterButReadersKeepServing) {
+  SearchService service;
+  CloudHandle cloud = service.register_cloud("chaos", points_, {});
+  const std::uint64_t version = service.snapshot_version(cloud);
+
+  std::vector<Vec3> moved = points_;
+  for (Vec3& p : moved) p.x += 0.05f;
+  {
+    ScopedFailpoint fp("service.publish", {});
+    EXPECT_THROW(service.update_points(cloud, moved), InjectedFault);
+  }
+  // The failed publish left no trace: old version, old snapshot, and the
+  // read path untouched.
+  EXPECT_EQ(service.snapshot_version(cloud), version);
+  EXPECT_EQ(service.stats(cloud).updates, 0u);
+  EXPECT_NO_THROW((void)service.query(cloud, queries_, knn_params()));
+
+  // A retried update goes through cleanly.
+  service.update_points(cloud, moved);
+  EXPECT_EQ(service.snapshot_version(cloud), version + 1);
+  EXPECT_EQ(service.stats(cloud).updates, 1u);
+}
+
+TEST_F(ChaosTest, DemandBuildFaultRejectsKBackendThenRebuilds) {
+  SearchService service;
+  CloudConfig config;
+  config.build_on_register = false;
+  CloudHandle cloud = service.register_cloud("chaos", points_, config);
+  ASSERT_EQ(service.resident_clouds(), 0u);
+
+  FailConfig fire_once;
+  fire_once.fire_on_hit = 1;  // the demand build fails once, then heals
+  ScopedFailpoint fp("service.publish", fire_once);
+  try {
+    (void)service.query(cloud, queries_, knn_params());
+    FAIL() << "expected ServiceError";
+  } catch (const ServiceError& e) {
+    EXPECT_EQ(e.reason(), RejectReason::kBackend);
+  }
+  // The next request rebuilds on demand and serves.
+  EXPECT_NO_THROW((void)service.query(cloud, queries_, knn_params()));
+  EXPECT_EQ(service.resident_clouds(), 1u);
+}
+
+TEST_F(ChaosTest, EvictionFaultNeverFailsRequests) {
+  ServiceConfig service_config;
+  service_config.max_resident_clouds = 1;
+  SearchService service(service_config);
+  CloudHandle a = service.register_cloud("tenant_a", points_, {});
+
+  ScopedFailpoint fp("service.evict", {});
+  // Registering B pushes past the cap; the eviction pass throws — the
+  // registration and every request path must shrug it off.
+  const std::vector<Vec3> other = make_cloud(CloudKind::kUniform, kCloudSize, kSeed + 1);
+  CloudHandle b;
+  EXPECT_NO_THROW(b = service.register_cloud("tenant_b", other, {}));
+  EXPECT_NO_THROW((void)service.query(a, queries_, knn_params()));
+  EXPECT_NO_THROW((void)service.query(b, queries_, knn_params()));
+  EXPECT_GE(service.health().eviction_failures, 1u);
+  EXPECT_EQ(service.stats().evictions, 0u);  // the pass never completed
+
+  // Healed: the next build enforces the cap for real.
+  FailpointRegistry::instance().disarm("service.evict");
+  const std::vector<Vec3> third = make_cloud(CloudKind::kUniform, kCloudSize, kSeed + 2);
+  (void)service.register_cloud("tenant_c", third, {});
+  EXPECT_LE(service.resident_clouds(), 2u);
+  EXPECT_GE(service.stats().evictions, 1u);
+}
+
+TEST_F(ChaosTest, TickFaultRejectsTheBatchAndTheDispatcherSurvives) {
+  SearchService service;
+  CloudHandle cloud = service.register_cloud("chaos", points_, {});
+  FailConfig config;
+  config.max_fires = 1;
+  ScopedFailpoint fp("service.dispatch.tick", config);
+  try {
+    (void)service.query(cloud, queries_, knn_params());
+    FAIL() << "expected ServiceError";
+  } catch (const ServiceError& e) {
+    EXPECT_EQ(e.reason(), RejectReason::kBackend);
+  }
+  EXPECT_NO_THROW((void)service.query(cloud, queries_, knn_params()));
+  const ServiceStats stats = service.stats(cloud);
+  EXPECT_EQ(stats.requests, 2u);  // the failed tick's request still counted
+}
+
+TEST_F(ChaosTest, LaunchFaultRejectsTheGroupTyped) {
+  SearchService service;
+  CloudHandle cloud = service.register_cloud("chaos", points_, {});
+  FailConfig config;
+  config.max_fires = 1;
+  ScopedFailpoint fp("service.dispatch.launch", config);
+  try {
+    (void)service.query(cloud, queries_, knn_params());
+    FAIL() << "expected ServiceError";
+  } catch (const ServiceError& e) {
+    EXPECT_EQ(e.reason(), RejectReason::kBackend);
+    EXPECT_NE(std::string(e.what()).find("service.dispatch.launch"),
+              std::string::npos);
+  }
+  EXPECT_NO_THROW((void)service.query(cloud, queries_, knn_params()));
+}
+
+TEST_F(ChaosTest, AllocFailureAtTheTickIsATypedRejection) {
+  SearchService service;
+  CloudHandle cloud = service.register_cloud("chaos", points_, {});
+  FailConfig config;
+  config.action = Action::kAllocFail;
+  config.max_fires = 1;
+  ScopedFailpoint fp("service.dispatch.tick", config);
+  try {
+    (void)service.query(cloud, queries_, knn_params());
+    FAIL() << "expected ServiceError";
+  } catch (const ServiceError& e) {
+    EXPECT_EQ(e.reason(), RejectReason::kBackend);  // bad_alloc, typed & contained
+  }
+  EXPECT_NO_THROW((void)service.query(cloud, queries_, knn_params()));
+}
+
+TEST_F(ChaosTest, ShardFaultInOneBinLeavesTheTicksOtherBinsServing) {
+  // Two tenants in one tick: the sharded one fails, the plain one serves.
+  ServiceConfig service_config;
+  service_config.max_delay = 20ms;  // wide tick so both requests coalesce
+  SearchService service(service_config);
+  CloudHandle fragile = service.register_cloud(
+      "fragile", points_, sharded_cloud_config(/*attempts=*/1, /*degraded=*/false));
+  const std::vector<Vec3> other = make_cloud(CloudKind::kUniform, kCloudSize, kSeed + 3);
+  CloudHandle solid = service.register_cloud("solid", other, {});
+
+  ScopedFailpoint fp("sharded.shard_search", {});
+  SearchService::Ticket bad = service.submit(fragile, queries_, knn_params());
+  SearchService::Ticket good = service.submit(solid, queries_, knn_params());
+  EXPECT_THROW((void)bad.get(), ServiceError);
+  EXPECT_NO_THROW((void)good.get());
+}
+
+// --- Deadlines ---------------------------------------------------------------
+
+TEST_F(ChaosTest, DeadlineAlreadyOverResolvesAtTheDoor) {
+  SearchService service;
+  CloudHandle cloud = service.register_cloud("chaos", points_, {});
+  RequestOptions options;
+  options.deadline = std::chrono::steady_clock::now() - 1ms;
+  SearchService::Ticket ticket = service.submit(cloud, queries_, knn_params(), options);
+  EXPECT_TRUE(ticket.ready()) << "a dead-on-arrival request resolves immediately";
+  try {
+    (void)ticket.get();
+    FAIL() << "expected ServiceError";
+  } catch (const ServiceError& e) {
+    EXPECT_EQ(e.reason(), RejectReason::kDeadline);
+  }
+  const ServiceStats stats = service.stats(cloud);
+  EXPECT_EQ(stats.deadline_misses, 1u);
+  EXPECT_EQ(stats.requests, 0u);  // never queued: counted like shed
+  EXPECT_EQ(stats.shed, 0u);      // ...but not *as* shed
+}
+
+TEST_F(ChaosTest, DeadlineExpiringInTheQueueIsDroppedBeforeLaunch) {
+  SearchService service;
+  CloudHandle cloud = service.register_cloud("chaos", points_, {});
+  // Wedge the dispatcher for one tick, well past B's budget.
+  FailConfig config;
+  config.action = Action::kDelay;
+  config.delay = 150ms;
+  config.max_fires = 1;
+  ScopedFailpoint fp("service.dispatch.tick", config);
+
+  SearchService::Ticket a = service.submit(cloud, queries_, knn_params());
+  SearchService::Ticket b = service.submit(cloud, queries_, knn_params(),
+                                           RequestOptions::within(30ms));
+  EXPECT_NO_THROW((void)a.get());
+  try {
+    (void)b.get();
+    FAIL() << "expected ServiceError";
+  } catch (const ServiceError& e) {
+    EXPECT_EQ(e.reason(), RejectReason::kDeadline);
+  }
+  const ServiceStats stats = service.stats(cloud);
+  EXPECT_EQ(stats.deadline_misses, 1u);
+  EXPECT_EQ(stats.requests, 2u);  // queued misses count as requests
+}
+
+TEST_F(ChaosTest, DeadlineExpiringAtThePreLaunchGateIsDropped) {
+  ServiceConfig service_config;
+  service_config.max_delay = 10ms;
+  SearchService service(service_config);
+  CloudHandle cloud = service.register_cloud("chaos", points_, {});
+  // The wedge sits *after* the snapshot pin, so B expires at the last
+  // gate before work starts.
+  FailConfig config;
+  config.action = Action::kDelay;
+  config.delay = 150ms;
+  config.max_fires = 1;
+  ScopedFailpoint fp("service.dispatch.launch", config);
+
+  SearchService::Ticket a = service.submit(cloud, queries_, knn_params());
+  SearchService::Ticket b = service.submit(cloud, queries_, knn_params(),
+                                           RequestOptions::within(40ms));
+  EXPECT_NO_THROW((void)a.get());
+  try {
+    (void)b.get();
+    FAIL() << "expected ServiceError";
+  } catch (const ServiceError& e) {
+    EXPECT_EQ(e.reason(), RejectReason::kDeadline);
+  }
+  EXPECT_EQ(service.stats(cloud).deadline_misses, 1u);
+}
+
+TEST_F(ChaosTest, GenerousDeadlineServesNormally) {
+  SearchService service;
+  CloudHandle cloud = service.register_cloud("chaos", points_, {});
+  const RequestOutcome outcome =
+      service.query(cloud, queries_, knn_params(), RequestOptions::within(10s));
+  EXPECT_EQ(outcome.result.num_queries(), queries_.size());
+  const ServiceStats stats = service.stats(cloud);
+  EXPECT_EQ(stats.deadline_misses, 0u);
+  EXPECT_EQ(stats.requests, 1u);
+}
+
+TEST_F(ChaosTest, DeadlineMissSurfacesThroughTryGetToo) {
+  SearchService service;
+  CloudHandle cloud = service.register_cloud("chaos", points_, {});
+  RequestOptions options;
+  options.deadline = std::chrono::steady_clock::now();  // over by submit time
+  SearchService::Ticket ticket = service.submit(cloud, queries_, knn_params(), options);
+  ASSERT_TRUE(ticket.ready());
+  try {
+    (void)ticket.try_get();
+    FAIL() << "expected ServiceError";
+  } catch (const ServiceError& e) {
+    EXPECT_EQ(e.reason(), RejectReason::kDeadline);
+  }
+}
+
+// --- Watchdog / self-healing dispatch ----------------------------------------
+
+namespace {
+
+ServiceConfig watched_config(std::chrono::milliseconds stall_timeout = 60ms) {
+  ServiceConfig config;
+  config.stall_timeout = stall_timeout;
+  config.watchdog_interval = 15ms;
+  return config;
+}
+
+}  // namespace
+
+TEST_F(ChaosTest, WatchdogRestartsAStalledDispatcherAndTheTicketStillServes) {
+  SearchService service(watched_config());
+  CloudHandle cloud = service.register_cloud("chaos", points_, {});
+  // Wedge the dispatcher mid-tick for far longer than the stall window.
+  FailConfig config;
+  config.action = Action::kDelay;
+  config.delay = 500ms;
+  config.max_fires = 1;
+  ScopedFailpoint fp("service.dispatch.tick", config);
+
+  SearchService::Ticket ticket = service.submit(cloud, queries_, knn_params());
+  // The wedged thread holds the batch; the watchdog must restart the
+  // dispatcher, and the stale thread must hand the batch back on waking.
+  const RequestOutcome outcome = ticket.get();
+  EXPECT_EQ(outcome.result.num_queries(), queries_.size());
+  EXPECT_GE(service.health().dispatcher_restarts, 1u);
+  EXPECT_TRUE(service.health().dispatcher_alive);
+  EXPECT_EQ(service.health().pending_requests, 0u);
+}
+
+TEST_F(ChaosTest, WatchdogResolvesEveryInflightTicketAcrossClouds) {
+  SearchService service(watched_config());
+  CloudHandle a = service.register_cloud("tenant_a", points_, {});
+  const std::vector<Vec3> other = make_cloud(CloudKind::kUniform, kCloudSize, kSeed + 4);
+  CloudHandle b = service.register_cloud("tenant_b", other, {});
+
+  FailConfig config;
+  config.action = Action::kDelay;
+  config.delay = 400ms;
+  config.max_fires = 1;
+  ScopedFailpoint fp("service.dispatch.tick", config);
+
+  std::vector<SearchService::Ticket> tickets;
+  for (int i = 0; i < 4; ++i) {
+    tickets.push_back(service.submit(i % 2 == 0 ? a : b, queries_, knn_params()));
+  }
+  // Never abandoned: every ticket resolves — served here (no deadline,
+  // no drop), whatever mix of stale-thread serves and requeues occurred.
+  for (SearchService::Ticket& ticket : tickets) {
+    EXPECT_NO_THROW((void)ticket.get());
+  }
+  EXPECT_GE(service.health().dispatcher_restarts, 1u);
+  EXPECT_EQ(service.health().pending_requests, 0u);
+  EXPECT_EQ(service.stats().requests, 4u);
+}
+
+TEST_F(ChaosTest, WatchdogLeavesAnIdleServiceAlone) {
+  SearchService service(watched_config(/*stall_timeout=*/40ms));
+  CloudHandle cloud = service.register_cloud("chaos", points_, {});
+  (void)service.query(cloud, queries_, knn_params());
+  std::this_thread::sleep_for(200ms);  // idle >> stall window
+  EXPECT_EQ(service.health().dispatcher_restarts, 0u);
+  EXPECT_TRUE(service.health().dispatcher_alive);
+}
+
+TEST_F(ChaosTest, WatchdogLeavesHealthyTrafficAlone) {
+  SearchService service(watched_config(/*stall_timeout=*/80ms));
+  CloudHandle cloud = service.register_cloud("chaos", points_, {});
+  const auto until = std::chrono::steady_clock::now() + 250ms;
+  std::size_t served = 0;
+  while (std::chrono::steady_clock::now() < until) {
+    (void)service.query(cloud, queries_, knn_params());
+    ++served;
+  }
+  EXPECT_GT(served, 0u);
+  EXPECT_EQ(service.health().dispatcher_restarts, 0u);
+}
+
+TEST_F(ChaosTest, RestartQuarantinesSnapshotsAndServesCorrectAnswers) {
+  SearchService service(watched_config());
+  CloudHandle cloud = service.register_cloud("chaos", points_, {});
+  const RequestOutcome before = service.query(cloud, queries_, knn_params());
+
+  FailConfig config;
+  config.action = Action::kDelay;
+  config.delay = 400ms;
+  config.max_fires = 1;
+  ScopedFailpoint fp("service.dispatch.tick", config);
+  SearchService::Ticket stalled = service.submit(cloud, queries_, knn_params());
+  const RequestOutcome after = stalled.get();
+  ASSERT_GE(service.health().dispatcher_restarts, 1u);
+
+  // The republished (post-quarantine) snapshot answers identically.
+  ASSERT_EQ(after.result.num_queries(), before.result.num_queries());
+  for (std::size_t q = 0; q < after.result.num_queries(); ++q) {
+    EXPECT_EQ(after.result.count(q), before.result.count(q)) << q;
+  }
+  // And a fresh request on the healed service too.
+  EXPECT_NO_THROW((void)service.query(cloud, queries_, knn_params()));
+}
+
+TEST_F(ChaosTest, HealthSnapshotOnAQuietService) {
+  SearchService service;  // watchdog off: liveness still reported
+  CloudHandle cloud = service.register_cloud("chaos", points_, {});
+  (void)service.query(cloud, queries_, knn_params());
+  const ServiceHealth health = service.health();
+  EXPECT_TRUE(health.healthy());
+  EXPECT_TRUE(health.dispatcher_alive);
+  EXPECT_FALSE(health.writer_stalled);
+  EXPECT_EQ(health.dispatcher_restarts, 0u);
+  EXPECT_EQ(health.queue_depth, 0u);
+  EXPECT_EQ(health.pending_requests, 0u);
+}
+
+TEST_F(ChaosTest, WedgedWriterSurfacesInHealth) {
+  SearchService service(watched_config(/*stall_timeout=*/40ms));
+  CloudHandle cloud = service.register_cloud("chaos", points_, {});
+
+  FailConfig config;
+  config.action = Action::kDelay;
+  config.delay = 300ms;
+  config.max_fires = 1;
+  ScopedFailpoint fp("service.publish", config);
+  std::vector<Vec3> moved = points_;
+  for (Vec3& p : moved) p.y += 0.05f;
+  std::thread writer([&] { service.update_points(cloud, moved); });
+
+  bool observed_stall = false;
+  const auto until = std::chrono::steady_clock::now() + 2s;
+  while (std::chrono::steady_clock::now() < until) {
+    if (service.health().writer_stalled) {
+      observed_stall = true;
+      break;
+    }
+    std::this_thread::sleep_for(10ms);
+  }
+  writer.join();
+  EXPECT_TRUE(observed_stall) << "a wedged writer must show in health()";
+  EXPECT_FALSE(service.health().writer_stalled) << "and clear once it returns";
+  // Readers were never blocked by the wedged writer.
+  EXPECT_NO_THROW((void)service.query(cloud, queries_, knn_params()));
+}
+
+// --- Seeded chaos soak -------------------------------------------------------
+
+TEST_F(ChaosTest, SeededShardChaosSoakResolvesEveryTicketWithExactBookkeeping) {
+  SearchService service;
+  CloudHandle a = service.register_cloud(
+      "tenant_a", points_, sharded_cloud_config(/*attempts=*/2, /*degraded=*/true));
+  const std::vector<Vec3> other = make_cloud(CloudKind::kUniform, kCloudSize, kSeed + 5);
+  CloudHandle b = service.register_cloud(
+      "tenant_b", other, sharded_cloud_config(/*attempts=*/1, /*degraded=*/false));
+
+  FailConfig config;
+  config.probability = 0.25;
+  config.seed = 20260809;  // deterministic schedule: reruns replay exactly
+  ScopedFailpoint fp("sharded.shard_search", config);
+
+  constexpr int kRequests = 40;
+  std::vector<SearchService::Ticket> tickets;
+  tickets.reserve(kRequests);
+  for (int i = 0; i < kRequests; ++i) {
+    tickets.push_back(service.submit(i % 2 == 0 ? a : b, queries_, knn_params(),
+                                     RequestOptions::within(30s)));
+  }
+  std::size_t served = 0, degraded = 0, backend_failures = 0;
+  for (SearchService::Ticket& ticket : tickets) {
+    try {
+      const RequestOutcome outcome = ticket.get();
+      ++served;
+      if (outcome.degraded) ++degraded;
+    } catch (const ServiceError& e) {
+      EXPECT_EQ(e.reason(), RejectReason::kBackend);
+      ++backend_failures;
+    }
+  }
+  // Every ticket resolved, one way or the other.
+  EXPECT_EQ(served + backend_failures, static_cast<std::size_t>(kRequests));
+  EXPECT_GT(fp.fires(), 0u) << "the soak must actually have injected faults";
+
+  // Exact bookkeeping across the chaos: nothing pending, nothing leaked.
+  const ServiceHealth health = service.health();
+  EXPECT_EQ(health.pending_requests, 0u);
+  EXPECT_EQ(health.queue_depth, 0u);
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.requests, static_cast<std::uint64_t>(kRequests));
+  EXPECT_EQ(stats.degraded, degraded);
+  EXPECT_EQ(stats.shed, 0u);
+  EXPECT_EQ(stats.deadline_misses, 0u);
+}
+
+TEST_F(ChaosTest, SeededTickChaosWithWatchdogResolvesEverything) {
+  SearchService service(watched_config(/*stall_timeout=*/50ms));
+  CloudHandle cloud = service.register_cloud("chaos", points_, {});
+
+  // Short probabilistic wedges around the stall threshold: some ticks
+  // stall long enough to trip the watchdog, some don't.
+  FailConfig config;
+  config.action = Action::kDelay;
+  config.delay = 90ms;
+  config.probability = 0.3;
+  config.seed = 7;
+  ScopedFailpoint fp("service.dispatch.tick", config);
+
+  constexpr int kRequests = 12;
+  std::vector<SearchService::Ticket> tickets;
+  tickets.reserve(kRequests);
+  for (int i = 0; i < kRequests; ++i) {
+    tickets.push_back(service.submit(cloud, queries_, knn_params()));
+    std::this_thread::sleep_for(5ms);
+  }
+  for (SearchService::Ticket& ticket : tickets) {
+    EXPECT_NO_THROW((void)ticket.get());  // no deadline, no drop: all serve
+  }
+  EXPECT_EQ(service.health().pending_requests, 0u);
+  EXPECT_EQ(service.stats().requests, static_cast<std::uint64_t>(kRequests));
+}

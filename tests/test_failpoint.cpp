@@ -1,0 +1,231 @@
+// The deterministic fault-injection framework (core/failpoint.hpp):
+// arming/disarming, the firing rules (every-hit, Nth-hit, seeded
+// probability, max_fires), the three actions, counter semantics, and the
+// RAII scope. The chaos suite (tests/test_chaos.cpp) exercises the sites
+// compiled into the serving stack; this suite pins down the registry
+// itself on a synthetic site.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <new>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/failpoint.hpp"
+
+using namespace rtnn;
+using fail::Action;
+using fail::FailConfig;
+using fail::FailpointRegistry;
+using fail::InjectedFault;
+using fail::ScopedFailpoint;
+
+namespace {
+
+/// A synthetic site: evaluating through the macro exactly as production
+/// code does keeps the test honest about the call path.
+void hit_site(const char* name = "test.site") { RTNN_FAILPOINT(name); }
+
+class FailpointTest : public ::testing::Test {
+ protected:
+  void TearDown() override { FailpointRegistry::instance().disarm_all(); }
+};
+
+}  // namespace
+
+TEST_F(FailpointTest, UnarmedSiteIsANoop) {
+  EXPECT_NO_THROW(hit_site());
+  EXPECT_EQ(FailpointRegistry::instance().hits("test.site"), 0u);
+  EXPECT_EQ(FailpointRegistry::instance().fires("test.site"), 0u);
+}
+
+TEST_F(FailpointTest, ArmedThrowFiresEveryHit) {
+  ScopedFailpoint fp("test.site", {});  // defaults: kThrow, p=1.0
+  EXPECT_THROW(hit_site(), InjectedFault);
+  EXPECT_THROW(hit_site(), InjectedFault);
+  EXPECT_EQ(fp.hits(), 2u);
+  EXPECT_EQ(fp.fires(), 2u);
+}
+
+TEST_F(FailpointTest, InjectedFaultIsAnRtnnError) {
+  ScopedFailpoint fp("test.site", {});
+  // Recovery paths catch rtnn::Error (or std::exception); an injected
+  // fault must flow through them like a real failure.
+  EXPECT_THROW(hit_site(), Error);
+  try {
+    hit_site();
+    FAIL() << "expected a throw";
+  } catch (const std::exception& e) {
+    EXPECT_NE(std::string(e.what()).find("test.site"), std::string::npos);
+  }
+}
+
+TEST_F(FailpointTest, MessageAppendsToTheFault) {
+  FailConfig config;
+  config.message = "shard disk gone";
+  ScopedFailpoint fp("test.site", config);
+  try {
+    hit_site();
+    FAIL() << "expected a throw";
+  } catch (const InjectedFault& e) {
+    EXPECT_NE(std::string(e.what()).find("shard disk gone"), std::string::npos);
+  }
+}
+
+TEST_F(FailpointTest, DisarmStopsFiring) {
+  FailpointRegistry::instance().arm("test.site", {});
+  EXPECT_THROW(hit_site(), InjectedFault);
+  FailpointRegistry::instance().disarm("test.site");
+  EXPECT_NO_THROW(hit_site());
+  // Counters of a disarmed site are gone (unknown name = 0).
+  EXPECT_EQ(FailpointRegistry::instance().hits("test.site"), 0u);
+}
+
+TEST_F(FailpointTest, OnlyTheNamedSiteFires) {
+  ScopedFailpoint fp("test.site", {});
+  EXPECT_NO_THROW(hit_site("test.other"));
+  EXPECT_THROW(hit_site("test.site"), InjectedFault);
+}
+
+TEST_F(FailpointTest, FireOnNthHitIsExact) {
+  FailConfig config;
+  config.fire_on_hit = 3;
+  ScopedFailpoint fp("test.site", config);
+  EXPECT_NO_THROW(hit_site());
+  EXPECT_NO_THROW(hit_site());
+  EXPECT_THROW(hit_site(), InjectedFault);  // exactly the 3rd
+  EXPECT_NO_THROW(hit_site());              // and only the 3rd
+  EXPECT_EQ(fp.hits(), 4u);
+  EXPECT_EQ(fp.fires(), 1u);
+}
+
+TEST_F(FailpointTest, MaxFiresThenHeals) {
+  FailConfig config;
+  config.max_fires = 2;
+  ScopedFailpoint fp("test.site", config);
+  EXPECT_THROW(hit_site(), InjectedFault);
+  EXPECT_THROW(hit_site(), InjectedFault);
+  for (int i = 0; i < 5; ++i) EXPECT_NO_THROW(hit_site());
+  EXPECT_EQ(fp.fires(), 2u);
+  EXPECT_EQ(fp.hits(), 7u);
+}
+
+TEST_F(FailpointTest, SeededProbabilityIsDeterministic) {
+  const auto schedule = [](std::uint64_t seed) {
+    FailConfig config;
+    config.probability = 0.5;
+    config.seed = seed;
+    ScopedFailpoint fp("test.site", config);
+    std::vector<bool> fired;
+    for (int i = 0; i < 64; ++i) {
+      try {
+        hit_site();
+        fired.push_back(false);
+      } catch (const InjectedFault&) {
+        fired.push_back(true);
+      }
+    }
+    return fired;
+  };
+  const std::vector<bool> a = schedule(42);
+  const std::vector<bool> b = schedule(42);
+  const std::vector<bool> c = schedule(1337);
+  EXPECT_EQ(a, b) << "same seed, same firing schedule";
+  EXPECT_NE(a, c) << "different seed, different schedule";
+  // p=0.5 over 64 hits: some fire, some don't (astronomically unlikely
+  // to be all-or-nothing with a sane generator).
+  EXPECT_NE(std::count(a.begin(), a.end(), true), 0);
+  EXPECT_NE(std::count(a.begin(), a.end(), true), 64);
+}
+
+TEST_F(FailpointTest, ProbabilityZeroNeverFires) {
+  FailConfig config;
+  config.probability = 0.0;
+  ScopedFailpoint fp("test.site", config);
+  for (int i = 0; i < 32; ++i) EXPECT_NO_THROW(hit_site());
+  EXPECT_EQ(fp.hits(), 32u);
+  EXPECT_EQ(fp.fires(), 0u);
+}
+
+TEST_F(FailpointTest, DelayActionSleepsThenContinues) {
+  FailConfig config;
+  config.action = Action::kDelay;
+  config.delay = std::chrono::milliseconds(30);
+  ScopedFailpoint fp("test.site", config);
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_NO_THROW(hit_site());
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_GE(elapsed, std::chrono::milliseconds(30));
+  EXPECT_EQ(fp.fires(), 1u);
+}
+
+TEST_F(FailpointTest, AllocFailThrowsBadAlloc) {
+  FailConfig config;
+  config.action = Action::kAllocFail;
+  ScopedFailpoint fp("test.site", config);
+  EXPECT_THROW(hit_site(), std::bad_alloc);
+}
+
+TEST_F(FailpointTest, RearmResetsCountersAndConfig) {
+  FailpointRegistry::instance().arm("test.site", {});
+  EXPECT_THROW(hit_site(), InjectedFault);
+  EXPECT_EQ(FailpointRegistry::instance().fires("test.site"), 1u);
+
+  FailConfig healed;
+  healed.probability = 0.0;
+  FailpointRegistry::instance().arm("test.site", healed);
+  EXPECT_NO_THROW(hit_site());
+  EXPECT_EQ(FailpointRegistry::instance().hits("test.site"), 1u)
+      << "re-arm resets counters";
+  EXPECT_EQ(FailpointRegistry::instance().fires("test.site"), 0u);
+  FailpointRegistry::instance().disarm("test.site");
+}
+
+TEST_F(FailpointTest, ScopedFailpointDisarmsOnUnwind) {
+  try {
+    ScopedFailpoint fp("test.site", {});
+    hit_site();  // throws out of the scope
+    FAIL() << "expected a throw";
+  } catch (const InjectedFault&) {
+  }
+  EXPECT_NO_THROW(hit_site()) << "the scope must disarm during unwind";
+}
+
+TEST_F(FailpointTest, ArmValidatesItsConfig) {
+  EXPECT_THROW(FailpointRegistry::instance().arm("", {}), Error);
+  FailConfig bad;
+  bad.probability = 1.5;
+  EXPECT_THROW(FailpointRegistry::instance().arm("test.site", bad), Error);
+  bad.probability = -0.1;
+  EXPECT_THROW(FailpointRegistry::instance().arm("test.site", bad), Error);
+}
+
+TEST_F(FailpointTest, ConcurrentEvaluationIsSafe) {
+  // Half the hits fire; four threads hammer the same site. Counters must
+  // account every hit exactly (the decision runs under the registry
+  // lock), and nothing races or deadlocks.
+  FailConfig config;
+  config.probability = 0.5;
+  config.seed = 7;
+  ScopedFailpoint fp("test.site", config);
+  constexpr int kThreads = 4;
+  constexpr int kHitsPerThread = 200;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < kHitsPerThread; ++i) {
+        try {
+          hit_site();
+        } catch (const InjectedFault&) {
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(fp.hits(), static_cast<std::uint64_t>(kThreads * kHitsPerThread));
+  EXPECT_GT(fp.fires(), 0u);
+  EXPECT_LT(fp.fires(), fp.hits());
+}

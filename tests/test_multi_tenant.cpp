@@ -11,6 +11,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/failpoint.hpp"
 #include "core/rng.hpp"
 #include "engine/engine.hpp"
 #include "service/admission.hpp"
@@ -246,6 +247,50 @@ TEST(CloudLifecycle, ResidencyCapEvictsLeastRecentlyUsed) {
   rtnn::testing::expect_knn_distances_match(moved, queries, outcome.result,
                                             expected_knn(moved, queries, params),
                                             "updated while cold");
+}
+
+TEST(CloudLifecycle, EvictionWhileABatchIsInFlightServesExactly) {
+  // Regression: the LRU pass must never yank an index out from under a
+  // pinned batch. The dispatcher is wedged *after* pinning the snapshot
+  // (service.dispatch.launch), the cloud is evicted from the main thread
+  // mid-flight, and the batch must still serve bit-exact answers off its
+  // pin while the registry shows the eviction.
+  const SearchParams params = knn_params(typical_radius(CloudKind::kUniform));
+  ServiceConfig config;
+  config.max_resident_clouds = 1;
+  SearchService service(config);
+
+  const std::vector<Vec3> hot = uniform_cloud(kSeed, 300);
+  const std::vector<Vec3> cold = uniform_cloud(kSeed + 1, 300);
+  const CloudHandle hhot = service.register_cloud("hot", hot);
+
+  fail::FailConfig wedge;
+  wedge.action = fail::Action::kDelay;
+  wedge.delay = std::chrono::milliseconds(120);
+  wedge.max_fires = 1;
+  fail::ScopedFailpoint fp("service.dispatch.launch", wedge);
+
+  const std::vector<Vec3> queries(hot.begin(), hot.begin() + 12);
+  SearchService::Ticket inflight = service.submit(hhot, queries, params);
+  // Let the dispatcher pop, pin "hot"'s snapshot, and hit the wedge.
+  std::this_thread::sleep_for(std::chrono::milliseconds(40));
+
+  // Registering "cold" under a cap of one evicts "hot" while its batch
+  // is in flight: master and published snapshot are dropped, but the
+  // batch's own pin keeps the index alive.
+  const CloudHandle hcold = service.register_cloud("cold", cold);
+  EXPECT_EQ(service.resident_clouds(), 1u);
+  EXPECT_GE(service.stats(hhot).evictions, 1u);
+
+  rtnn::testing::expect_knn_distances_match(
+      hot, queries, inflight.get().result, expected_knn(hot, queries, params),
+      "in-flight batch across eviction");
+
+  // Both tenants keep serving afterwards ("hot" rebuilds on demand).
+  EXPECT_NO_THROW((void)service.query(hcold, queries, params));
+  rtnn::testing::expect_knn_distances_match(
+      hot, queries, service.query(hhot, queries, params).result,
+      expected_knn(hot, queries, params), "rebuilt after eviction");
 }
 
 // --- Sharded clouds through the service --------------------------------------

@@ -107,6 +107,27 @@ TEST(CompletionEvent, SignalReleasesWaiter) {
   signaler.join();
 }
 
+TEST(CompletionEvent, ZeroAndNegativeTimeoutsPollWithoutBlocking) {
+  CompletionEvent event;
+  // A non-positive timeout is a poll: report the current state, never
+  // block, and never trip the deadline-overflow inside wait_for.
+  const auto deadline_cases = {
+      std::chrono::nanoseconds::zero(),
+      std::chrono::nanoseconds(-1),
+      std::chrono::nanoseconds::min(),
+  };
+  for (const auto timeout : deadline_cases) {
+    const auto start = std::chrono::steady_clock::now();
+    EXPECT_FALSE(event.wait_for(timeout));
+    EXPECT_LT(std::chrono::steady_clock::now() - start,
+              std::chrono::milliseconds(100));
+  }
+  event.signal();
+  for (const auto timeout : deadline_cases) {
+    EXPECT_TRUE(event.wait_for(timeout)) << "signaled state must show in a poll";
+  }
+}
+
 TEST(WorkQueue, FifoAcrossProducers) {
   WorkQueue<int> queue;
   EXPECT_EQ(queue.size(), 0u);

@@ -9,6 +9,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/failpoint.hpp"
 #include "core/rng.hpp"
 #include "datasets/motion.hpp"
 #include "engine/engine.hpp"
@@ -615,4 +616,92 @@ TEST(SearchServiceStress, ShutdownUnderConcurrentSubmitters) {
 
   EXPECT_EQ(accepted.load() + refused.load(), 4 * 30);
   EXPECT_EQ(svc.stats().requests, static_cast<std::uint64_t>(accepted.load()));
+}
+
+// --- Error contract: every RejectReason, through get() and try_get() ---------
+
+namespace {
+
+/// Resolves the ticket via get() and returns the typed reason.
+RejectReason reason_via_get(SearchService::Ticket& ticket) {
+  try {
+    (void)ticket.get();
+  } catch (const ServiceError& e) {
+    return e.reason();
+  }
+  ADD_FAILURE() << "expected a ServiceError through get()";
+  return RejectReason::kBackend;
+}
+
+/// Resolves the ticket via wait() + try_get() and returns the typed reason.
+RejectReason reason_via_try_get(SearchService::Ticket& ticket) {
+  ticket.wait();
+  try {
+    (void)ticket.try_get();
+  } catch (const ServiceError& e) {
+    return e.reason();
+  }
+  ADD_FAILURE() << "expected a ServiceError through try_get()";
+  return RejectReason::kBackend;
+}
+
+}  // namespace
+
+TEST(ErrorContract, EveryRejectReasonSurfacesThroughGetAndTryGet) {
+  const std::vector<Vec3> cloud = make_cloud(CloudKind::kUniform, 400, kSeed);
+  const SearchParams params = knn_params(typical_radius(CloudKind::kUniform));
+  const std::vector<Vec3> queries(cloud.begin(), cloud.begin() + 8);
+
+  {
+    SCOPED_TRACE("kAdmission: shed past the burst");
+    SearchService service;
+    CloudConfig gated;
+    gated.admission.tokens_per_second = 1e-9;
+    gated.admission.burst = 1.0;
+    const CloudHandle handle = service.register_cloud("gated", cloud, gated);
+    (void)service.query(handle, queries, params);  // spends the burst token
+    auto shed_a = service.submit(handle, queries, params);
+    auto shed_b = service.submit(handle, queries, params);
+    EXPECT_EQ(reason_via_get(shed_a), RejectReason::kAdmission);
+    EXPECT_EQ(reason_via_try_get(shed_b), RejectReason::kAdmission);
+  }
+
+  {
+    SCOPED_TRACE("kShutdown: cloud dropped with requests pending");
+    ServiceConfig config;
+    config.max_delay = std::chrono::microseconds(100'000);
+    SearchService service(config);
+    const CloudHandle handle = service.register_cloud("doomed", cloud);
+    auto pending_a = service.submit(handle, queries, params);
+    auto pending_b = service.submit(handle, queries, params);
+    service.drop_cloud("doomed");
+    EXPECT_EQ(reason_via_get(pending_a), RejectReason::kShutdown);
+    EXPECT_EQ(reason_via_try_get(pending_b), RejectReason::kShutdown);
+  }
+
+  {
+    SCOPED_TRACE("kBackend: injected shard fault on a sharded cloud");
+    SearchService service;
+    CloudConfig sharded;
+    sharded.shard_threshold = 64;
+    sharded.max_shards = 4;
+    const CloudHandle handle = service.register_cloud("sharded", cloud, sharded);
+    fail::ScopedFailpoint fp("sharded.shard_search", {});
+    auto failed_a = service.submit(handle, queries, params);
+    auto failed_b = service.submit(handle, queries, params);
+    EXPECT_EQ(reason_via_get(failed_a), RejectReason::kBackend);
+    EXPECT_EQ(reason_via_try_get(failed_b), RejectReason::kBackend);
+  }
+
+  {
+    SCOPED_TRACE("kDeadline: dead on arrival");
+    SearchService service;
+    const CloudHandle handle = service.register_cloud("slow", cloud);
+    RequestOptions late;
+    late.deadline = std::chrono::steady_clock::now() - std::chrono::milliseconds(1);
+    auto missed_a = service.submit(handle, queries, params, late);
+    auto missed_b = service.submit(handle, queries, params, late);
+    EXPECT_EQ(reason_via_get(missed_a), RejectReason::kDeadline);
+    EXPECT_EQ(reason_via_try_get(missed_b), RejectReason::kDeadline);
+  }
 }

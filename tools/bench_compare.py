@@ -59,8 +59,20 @@ def index_timings(report):
 # The serving.multi_tenant.* overload case publishes its verdict as
 # scalars rather than stage times; surface them in the same informational
 # breakdown so an admission-policy change is read next to its latencies.
+# The serving.deadline.* robustness case contributes the same way: p99
+# with deadlines on/off, the deadline-miss share under overload, and the
+# degraded-request share when shard fault isolation drops a shard.
 ADMISSION_METRICS = frozenset(
-    {"queued_p99_ms", "admitted_p99_ms", "shed_share", "p99_ratio"}
+    {
+        "queued_p99_ms",
+        "admitted_p99_ms",
+        "shed_share",
+        "p99_ratio",
+        "deadline_p99_on_ms",
+        "deadline_p99_off_ms",
+        "deadline_miss_share",
+        "degraded_share",
+    }
 )
 
 
