@@ -48,6 +48,27 @@ double time_backend(bench::CaseContext& ctx, const std::string& name,
                   {.work_items = static_cast<double>(queries.size())});
 }
 
+/// One instrumented rtnn run per dataset: per-stage seconds under the
+/// `<prefix>.stage.*` names tools/bench_compare.py attributes hotspot
+/// movement by, plus the index footprint of the layout actually launched
+/// (`index_bytes.*` — the acceptance metric of the compressed wide BVH).
+void emit_rtnn_breakdown(bench::CaseContext& ctx, const std::string& prefix,
+                         engine::SearchBackend& backend, std::span<const Vec3> points,
+                         std::span<const Vec3> queries, const SearchParams& params) {
+  engine::SearchBackend::Report report;
+  backend.set_points(points);
+  backend.search(queries, params, &report);
+  ctx.metric(prefix + ".stage.data", report.time.data, "s");
+  ctx.metric(prefix + ".stage.opt", report.time.opt, "s");
+  ctx.metric(prefix + ".stage.bvh", report.time.bvh, "s");
+  ctx.metric(prefix + ".stage.fs", report.time.first_search, "s");
+  ctx.metric(prefix + ".stage.search", report.time.search, "s");
+  ctx.metric("index_bytes.node." + prefix,
+             static_cast<double>(report.index_node_bytes), "B");
+  ctx.metric("index_bytes.total." + prefix,
+             static_cast<double>(report.index_total_bytes), "B");
+}
+
 }  // namespace
 
 RTNN_BENCH_CASE(fig11, "fig11",
@@ -87,6 +108,8 @@ RTNN_BENCH_CASE(fig11, "fig11",
     params.mode = SearchMode::kKnn;
     row.t_rtnn_knn = time_backend(ctx, std::string("knn.rtnn.") + name, *rtnn_backend,
                                   points, points, params);
+    emit_rtnn_breakdown(ctx, std::string("knn.rtnn.") + name, *rtnn_backend, points,
+                        points, params);
     row.t_frnn = time_backend(ctx, std::string("knn.frnn.") + name, *grid_backend,
                               points, points, params);
     // FastRNN (naive RT KNN) can be orders of magnitude slower; probe it

@@ -124,6 +124,13 @@ struct LaunchOptions {
   /// characterization runs. Ignored by kWarpLockstep, which always walks
   /// the binary tree for simulation fidelity.
   bool use_wide_bvh = true;
+  /// Wide launches traverse the quantized compressed node layout (80 B vs
+  /// 256 B per node) — the production default; candidate sets are
+  /// identical by construction. Clear to traverse the FP32 SoA nodes: the
+  /// configuration the cost model's default constants were calibrated
+  /// against, kept as the opt-out fallback. Ignored unless the launch
+  /// takes the wide path.
+  bool use_compressed_bvh = true;
 };
 
 /// Shader-pipeline concepts. A pipeline must at least provide the RG and
@@ -204,6 +211,7 @@ LaunchStats launch(const Accel& accel, P& pipeline, std::uint32_t width,
   config.parallel = options.parallel;
   config.simulate_caches = options.simulate_caches;
   config.collect_stats = options.collect_stats || options.simulate_caches;
+  config.use_compressed = options.use_compressed_bvh;
   const bool wide =
       options.model == ExecutionModel::kIndependent && options.use_wide_bvh;
   const LaunchStats stats =

@@ -43,6 +43,7 @@ class Cache {
   bool access(std::uint64_t address);
 
   const CacheStats& stats() const { return stats_; }
+  std::uint32_t line_bytes() const { return config_.line_bytes; }
   void reset();
 
  private:
@@ -71,6 +72,19 @@ class MemoryHierarchy {
 
   void access(std::uint64_t address) {
     if (!l1_.access(address)) l2_.access(address);
+  }
+
+  /// Touches every cache line in [address, address + bytes) — one access
+  /// per line, the way a streaming fetch of a multi-line object (e.g. a
+  /// 256 B FP32 wide node vs an 80 B compressed one) lands in hardware.
+  /// The line walk uses the L1's line size; the L2 line size is the same
+  /// in every configuration we model (both default to 128 B).
+  void access_range(std::uint64_t address, std::uint64_t bytes) {
+    if (bytes == 0) return;
+    const std::uint64_t line = l1_.line_bytes();
+    const std::uint64_t first = address / line;
+    const std::uint64_t last = (address + bytes - 1) / line;
+    for (std::uint64_t l = first; l <= last; ++l) access(l * line);
   }
 
   const CacheStats& l1_stats() const { return l1_.stats(); }

@@ -63,15 +63,32 @@ struct TraceConfig {
   /// Run the launch across threads. Disable for bit-exact cache-simulation
   /// experiments (one shared memory hierarchy).
   bool parallel = true;
-  /// Attach the cache simulator to node/primitive fetches (SIMT mode only;
-  /// adds overhead, meant for characterization runs).
+  /// Attach the cache simulator to node/primitive fetches. Supported by
+  /// the warp-lockstep model (the paper-characterization path) and by the
+  /// wide-BVH independent overload, where it models each node layout's
+  /// real byte footprint (256 B FP32 vs 80 B compressed). Adds overhead;
+  /// meant for characterization runs.
   bool simulate_caches = false;
   CacheConfig l1{64 * 1024, 128, 4};
   CacheConfig l2{4 * 1024 * 1024, 128, 16};
   /// Collect LaunchStats counters. Disabling removes the accounting from
   /// the hot loop for pure wall-clock runs.
   bool collect_stats = true;
+  /// Wide-BVH overload only: traverse the quantized compressed mirror
+  /// instead of the FP32 SoA nodes. Candidate sets (and the IS-call
+  /// sequence) are identical by construction; only the memory footprint
+  /// changes. Off by default at this layer — the rt:: API stays explicit,
+  /// and the production default lives in ox::LaunchOptions.
+  bool use_compressed = false;
 };
+
+/// Software prefetch for the traversal inner loop: read-intent, keep in
+/// all cache levels. A hint only — no-op where unsupported.
+#if defined(__GNUC__) || defined(__clang__)
+#define RTNN_PREFETCH(addr) __builtin_prefetch((addr), 0, 3)
+#else
+#define RTNN_PREFETCH(addr) ((void)0)
+#endif
 
 namespace detail {
 
@@ -84,6 +101,10 @@ constexpr std::uint32_t kWarpSize = 32;
 constexpr std::uint64_t kNodeStride = 64;
 constexpr std::uint64_t kPrimRegionBase = std::uint64_t{1} << 40;
 constexpr std::uint64_t kPrimStride = 32;
+// The compressed traversal's exact re-test streams a leaf-slot-ordered
+// copy of the primitive AABBs — contiguous, packed at sizeof(Aabb), in its
+// own region so the simulator sees it as the distinct array it is.
+constexpr std::uint64_t kOrderedPrimRegionBase = std::uint64_t{1} << 41;
 
 /// Per-ray traversal state for the lockstep engine.
 struct LaneState {
@@ -151,17 +172,15 @@ void trace_one(const Bvh& bvh, const Ray& ray, std::uint32_t ray_id, Program& pr
 /// `inv_dir` is the precomputed 1/dir (±inf for zero components), hoisted
 /// out of the per-node loop.
 #ifdef RTNN_HAVE_AVX2
-inline std::uint32_t wide_node_hits(const WideBvhNode& node, const Ray& ray,
-                                    const Vec3& inv_dir) {
+/// The 8-lane box test shared by both node layouts: lane i of each input
+/// register holds child i's coordinate. Decision-identical to
+/// ray_intersects_aabb per lane, including NaN semantics.
+inline std::uint32_t simd_box_hits(__m256 minx, __m256 miny, __m256 minz,
+                                   __m256 maxx, __m256 maxy, __m256 maxz,
+                                   const Ray& ray, const Vec3& inv_dir) {
   const __m256 ox = _mm256_set1_ps(ray.origin.x);
   const __m256 oy = _mm256_set1_ps(ray.origin.y);
   const __m256 oz = _mm256_set1_ps(ray.origin.z);
-  const __m256 minx = _mm256_load_ps(node.minx);
-  const __m256 miny = _mm256_load_ps(node.miny);
-  const __m256 minz = _mm256_load_ps(node.minz);
-  const __m256 maxx = _mm256_load_ps(node.maxx);
-  const __m256 maxy = _mm256_load_ps(node.maxy);
-  const __m256 maxz = _mm256_load_ps(node.maxz);
 
   // Condition 2 of paper Figure 2: the origin lies inside the box.
   __m256 inside = _mm256_and_ps(_mm256_cmp_ps(ox, minx, _CMP_GE_OQ),
@@ -194,6 +213,43 @@ inline std::uint32_t wide_node_hits(const WideBvhNode& node, const Ray& ray,
 
   return static_cast<std::uint32_t>(_mm256_movemask_ps(_mm256_or_ps(inside, slab)));
 }
+
+inline std::uint32_t wide_node_hits(const WideBvhNode& node, const Ray& ray,
+                                    const Vec3& inv_dir) {
+  return simd_box_hits(_mm256_load_ps(node.minx), _mm256_load_ps(node.miny),
+                       _mm256_load_ps(node.minz), _mm256_load_ps(node.maxx),
+                       _mm256_load_ps(node.maxy), _mm256_load_ps(node.maxz),
+                       ray, inv_dir);
+}
+
+/// Same contract against the quantized layout: dequantize the eight child
+/// boxes, then run the identical box test. The dequantization here is
+/// bitwise-identical to the scalar dequantize_slot(): uint8 -> int32 ->
+/// float conversion is exact, the multiply by a power-of-two scale is
+/// exact, and the single add rounds the same way — so AVX2 and scalar
+/// builds agree bit-for-bit on every decoded bound, and the SIMD-vs-scalar
+/// decision parity the FP32 path guarantees carries over. No FMA: -mavx2
+/// alone does not license it, and contracting mul+add would change the
+/// rounding against the scalar decoder.
+inline std::uint32_t compressed_node_hits(const CompressedWideNode& node, const Ray& ray,
+                                          const Vec3& inv_dir) {
+  const auto dq = [](const std::uint8_t* q, __m256 anchor, __m256 scale) {
+    const __m128i bytes =
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(q));
+    const __m256 f = _mm256_cvtepi32_ps(_mm256_cvtepu8_epi32(bytes));
+    return _mm256_add_ps(_mm256_mul_ps(f, scale), anchor);
+  };
+  const __m256 ax = _mm256_set1_ps(node.anchor_x);
+  const __m256 ay = _mm256_set1_ps(node.anchor_y);
+  const __m256 az = _mm256_set1_ps(node.anchor_z);
+  const __m256 sx = _mm256_set1_ps(quant_scale(node.exp_x));
+  const __m256 sy = _mm256_set1_ps(quant_scale(node.exp_y));
+  const __m256 sz = _mm256_set1_ps(quant_scale(node.exp_z));
+  return simd_box_hits(dq(node.qlox, ax, sx), dq(node.qloy, ay, sy),
+                       dq(node.qloz, az, sz), dq(node.qhix, ax, sx),
+                       dq(node.qhiy, ay, sy), dq(node.qhiz, az, sz),
+                       ray, inv_dir);
+}
 #else
 inline std::uint32_t wide_node_hits(const WideBvhNode& node, const Ray& ray,
                                     const Vec3& inv_dir) {
@@ -205,13 +261,35 @@ inline std::uint32_t wide_node_hits(const WideBvhNode& node, const Ray& ray,
   }
   return mask;
 }
+
+inline std::uint32_t compressed_node_hits(const CompressedWideNode& node, const Ray& ray,
+                                          const Vec3& inv_dir) {
+  std::uint32_t mask = 0;
+  for (std::uint32_t i = 0; i < kWideBvhWidth; ++i) {
+    if (ray_intersects_aabb(ray, dequantize_slot(node, i), inv_dir)) mask |= 1u << i;
+  }
+  return mask;
+}
 #endif
 
 /// Single-ray traversal of the 8-wide SoA BVH. `stack` is the caller's
-/// reusable per-thread buffer (kWideStackDepth entries).
+/// reusable per-thread buffer (kWideStackDepth entries). `mem`, when
+/// non-null, replays node/primitive fetches through the cache simulator at
+/// this layout's real byte footprint.
+///
+/// Inner-loop micro-optimizations (shared with the compressed variant so
+/// the two stay decision-order-identical):
+///  * after each pop, the next stack entry's node line is prefetched — by
+///    the time this node's 8-box test and leaf work retire, the next
+///    node's first line is usually in flight;
+///  * interior children are buffered and pushed in reverse slot order, so
+///    pops proceed in ascending slot order — the BFS build allocates a
+///    parent's children at consecutive indices, making consecutive pops
+///    walk consecutive node addresses.
 template <typename Program>
 void trace_one_wide(const WideBvh& bvh, const Ray& ray, std::uint32_t ray_id,
-                    Program& program, LaunchStats* stats, std::uint32_t* stack) {
+                    Program& program, LaunchStats* stats, std::uint32_t* stack,
+                    MemoryHierarchy* mem = nullptr) {
   const auto nodes = bvh.nodes();
   const auto leaves = bvh.leaves();
   const auto prim_order = bvh.prim_order();
@@ -220,12 +298,17 @@ void trace_one_wide(const WideBvh& bvh, const Ray& ray, std::uint32_t ray_id,
   std::uint32_t sp = 0;
   stack[sp++] = bvh.root();
   while (sp > 0) {
-    const WideBvhNode& node = nodes[stack[--sp]];
+    const std::uint32_t node_id = stack[--sp];
+    if (sp > 0) RTNN_PREFETCH(&nodes[stack[sp - 1]]);
+    const WideBvhNode& node = nodes[node_id];
+    if (mem) mem->access_range(node_id * sizeof(WideBvhNode), sizeof(WideBvhNode));
     if (stats) {
       ++stats->node_visits;
       stats->aabb_tests += node.count;
     }
     std::uint32_t mask = wide_node_hits(node, ray, inv_dir) & node.valid_mask();
+    std::uint32_t pushes[kWideBvhWidth];
+    std::uint32_t n_push = 0;
     while (mask != 0) {
       const auto slot = static_cast<std::uint32_t>(std::countr_zero(mask));
       mask &= mask - 1;
@@ -238,6 +321,9 @@ void trace_one_wide(const WideBvh& bvh, const Ray& ray, std::uint32_t ray_id,
         for (std::uint32_t s = leaf.first; s < leaf.first + leaf.count; ++s) {
           const std::uint32_t prim = prim_order[s];
           if (leaf.count > 1) {
+            if (mem) {
+              mem->access_range(kPrimRegionBase + prim * kPrimStride, sizeof(Aabb));
+            }
             if (stats) ++stats->aabb_tests;
             if (!ray_intersects_aabb(ray, prim_aabbs[prim], inv_dir)) continue;
           }
@@ -248,10 +334,76 @@ void trace_one_wide(const WideBvh& bvh, const Ray& ray, std::uint32_t ray_id,
           }
         }
       } else {
-        RTNN_DCHECK(sp < kWideStackDepth, "wide traversal stack overflow");
-        stack[sp++] = child;
+        pushes[n_push++] = child;
       }
     }
+    RTNN_DCHECK(sp + n_push <= kWideStackDepth, "wide traversal stack overflow");
+    for (std::uint32_t i = n_push; i > 0; --i) stack[sp++] = pushes[i - 1];
+  }
+}
+
+/// Single-ray traversal of the compressed (quantized) wide layout. Same
+/// shape as trace_one_wide with two deliberate differences: nodes are
+/// decoded via compressed_node_hits, and *every* leaf primitive — even a
+/// single-primitive leaf — is re-tested against its exact FP32 AABB.
+/// Dequantized slot boxes are conservative supersets, so the slot hit
+/// alone is not proof of a primitive hit; the exact re-test is what makes
+/// candidate sets (and hence the IS-call sequence, including kTerminate
+/// cut-offs) identical to the FP32 path: a spurious slot hit leads into a
+/// subtree whose primitives the ray provably misses, contributing zero IS
+/// calls. The re-test reads the leaf-slot-ordered AABB snapshot
+/// (ordered_prim_aabbs), so the extra fetches stream contiguously in
+/// traversal order instead of gathering through prim_order.
+template <typename Program>
+void trace_one_compressed(const WideBvh& bvh, const Ray& ray, std::uint32_t ray_id,
+                          Program& program, LaunchStats* stats, std::uint32_t* stack,
+                          MemoryHierarchy* mem = nullptr) {
+  const auto nodes = bvh.compressed_nodes();
+  const auto leaves = bvh.leaves();
+  const auto prim_order = bvh.prim_order();
+  const auto ordered_prim_aabbs = bvh.ordered_prim_aabbs();
+  const Vec3 inv_dir = reciprocal_dir(ray);
+  std::uint32_t sp = 0;
+  stack[sp++] = bvh.root();
+  while (sp > 0) {
+    const std::uint32_t node_id = stack[--sp];
+    if (sp > 0) RTNN_PREFETCH(&nodes[stack[sp - 1]]);
+    const CompressedWideNode& node = nodes[node_id];
+    if (mem) {
+      mem->access_range(node_id * sizeof(CompressedWideNode),
+                        sizeof(CompressedWideNode));
+    }
+    if (stats) {
+      ++stats->node_visits;
+      stats->aabb_tests += node.count;
+    }
+    std::uint32_t mask = compressed_node_hits(node, ray, inv_dir) & node.valid_mask();
+    std::uint32_t pushes[kWideBvhWidth];
+    std::uint32_t n_push = 0;
+    while (mask != 0) {
+      const auto slot = static_cast<std::uint32_t>(std::countr_zero(mask));
+      mask &= mask - 1;
+      if (node.is_leaf_slot(slot)) {
+        const WideLeaf leaf = leaves[node.leaf_index(slot)];
+        for (std::uint32_t s = leaf.first; s < leaf.first + leaf.count; ++s) {
+          const std::uint32_t prim = prim_order[s];
+          if (mem) {
+            mem->access_range(kOrderedPrimRegionBase + s * sizeof(Aabb), sizeof(Aabb));
+          }
+          if (stats) ++stats->aabb_tests;
+          if (!ray_intersects_aabb(ray, ordered_prim_aabbs[s], inv_dir)) continue;
+          if (stats) ++stats->is_calls;
+          if (program.intersect(ray_id, prim) == TraceAction::kTerminate) {
+            if (stats) ++stats->terminated_rays;
+            return;
+          }
+        }
+      } else {
+        pushes[n_push++] = node.child_index(slot);
+      }
+    }
+    RTNN_DCHECK(sp + n_push <= kWideStackDepth, "wide traversal stack overflow");
+    for (std::uint32_t i = n_push; i > 0; --i) stack[sp++] = pushes[i - 1];
   }
 }
 
@@ -394,29 +546,47 @@ LaunchStats trace(const Bvh& bvh, std::span<const Ray> rays, Program& program,
 /// Wide-BVH overload: the wall-clock independent path. Rays are batched
 /// into Morton-coherent chunks (the caller's ordering is preserved), each
 /// chunk reusing one per-thread traversal stack across all of its rays.
+/// config.use_compressed selects the quantized node layout (identical
+/// candidate sets, ~1/3 the node bytes); config.simulate_caches replays
+/// the selected layout's node/primitive fetches through per-worker cache
+/// hierarchies, so the two layouts' modeled miss counts are directly
+/// comparable.
 template <typename Program>
 LaunchStats trace(const WideBvh& bvh, std::span<const Ray> rays, Program& program,
                   const TraceConfig& config = {}) {
   RTNN_CHECK(config.model == ExecutionModel::kIndependent,
              "the wide BVH serves only the independent execution model; "
              "warp-lockstep simulation walks the binary BVH");
-  RTNN_CHECK(!config.simulate_caches,
-             "cache simulation requires the warp-lockstep execution model");
   LaunchStats total;
   total.rays = rays.size();
   if (rays.empty() || bvh.empty()) return total;
 
   const auto n = static_cast<std::int64_t>(rays.size());
   std::optional<StatsAccumulator> accumulator;
-  if (config.collect_stats) accumulator.emplace();
+  // Cache stats travel inside LaunchStats, so simulation forces collection.
+  if (config.collect_stats || config.simulate_caches) accumulator.emplace();
   auto run_chunk = [&](std::int64_t lo, std::int64_t hi) {
     LaunchStats local;
-    LaunchStats* stats = accumulator ? &local : nullptr;
+    LaunchStats* stats = config.collect_stats ? &local : nullptr;
+    std::optional<MemoryHierarchy> mem;
+    if (config.simulate_caches) mem.emplace(config.l1, config.l2);
+    MemoryHierarchy* mem_ptr = mem ? &*mem : nullptr;
     // One stack allocation per chunk, reused by every ray in it.
     std::uint32_t stack[detail::kWideStackDepth];
     for (std::int64_t i = lo; i < hi; ++i) {
-      detail::trace_one_wide(bvh, rays[static_cast<std::size_t>(i)],
-                             static_cast<std::uint32_t>(i), program, stats, stack);
+      if (config.use_compressed) {
+        detail::trace_one_compressed(bvh, rays[static_cast<std::size_t>(i)],
+                                     static_cast<std::uint32_t>(i), program, stats,
+                                     stack, mem_ptr);
+      } else {
+        detail::trace_one_wide(bvh, rays[static_cast<std::size_t>(i)],
+                               static_cast<std::uint32_t>(i), program, stats, stack,
+                               mem_ptr);
+      }
+    }
+    if (mem) {
+      local.l1 = mem->l1_stats();
+      local.l2 = mem->l2_stats();
     }
     if (accumulator) accumulator->local() += local;
   };

@@ -1,0 +1,170 @@
+// Quantization pass for the compressed wide-BVH mirror.
+//
+// Each CompressedWideNode re-encodes one WideBvhNode's eight child AABBs
+// as 8-bit offsets from a per-node anchor at per-axis power-of-two scales.
+// The encoding is *conservative by construction*: after the arithmetic
+// estimate of each quantized lane, a fix-up loop nudges it until the
+// exactly-dequantized value (the same `anchor + float(q) * 2^exp`
+// expression both traversal decoders evaluate) brackets the FP32 bound
+// from the correct side. Traversal against dequantized boxes can therefore
+// only visit a superset of the FP32 path's nodes — never miss — and the
+// exact primitive-AABB re-test at the leaves keeps candidate sets
+// identical.
+//
+// Scale selection starts from frexp of the node's content extent and
+// retries with a doubled scale in the rare case float rounding leaves the
+// top of the range unreachable at q = 255 (e.g. a tiny extent against a
+// huge anchor magnitude). At the exponent ceiling 255 * 2^127 overflows to
+// +inf, which trivially bounds any finite box, so the retry always
+// terminates.
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "core/error.hpp"
+#include "core/parallel.hpp"
+#include "rtcore/wide_bvh.hpp"
+
+namespace rtnn::rt {
+
+namespace {
+
+constexpr int kExpMin = -126;  // quant_scale()'s normal-float range
+constexpr int kExpMax = 127;
+
+/// Smallest starting exponent such that 255 * 2^e plausibly covers
+/// `extent`; the caller's retry loop handles the rounding corner cases.
+int initial_exponent(float extent) {
+  if (!(extent > 0.0f)) return kExpMin;
+  int ex = 0;
+  std::frexp(extent, &ex);  // extent = m * 2^ex, m in [0.5, 1)
+  return std::clamp(ex - 8, kExpMin, kExpMax);
+}
+
+/// Quantizes one axis of one slot box. Returns false when the hi bound is
+/// unreachable even at q = 255 and the node must retry with a larger
+/// scale. `lo`/`hi` are the FP32 slot bounds; `anchor` is exact (a copy of
+/// the node's content minimum on this axis), so q = 0 always encodes a
+/// valid conservative lo.
+bool quantize_axis(float lo, float hi, float anchor, float scale,
+                   std::uint8_t& qlo_out, std::uint8_t& qhi_out) {
+  const auto dequant = [&](std::uint32_t q) {
+    return anchor + static_cast<float>(q) * scale;
+  };
+
+  // lo: round down. The division estimate is within an ulp or two; the
+  // fix-up loops land on the largest q whose dequantized value is <= lo.
+  // q = 0 decodes to the anchor, which is the exact content minimum, so a
+  // conservative lo always exists.
+  float est = std::min((lo - anchor) / scale, 255.0f);
+  std::uint32_t qlo = est > 0.0f ? static_cast<std::uint32_t>(est) : 0u;
+  while (qlo > 0 && dequant(qlo) > lo) --qlo;
+  while (qlo < 255 && dequant(qlo + 1) <= lo) ++qlo;
+
+  // hi: round up — smallest q whose dequantized value is >= hi.
+  est = std::min((hi - anchor) / scale, 255.0f);
+  std::uint32_t qhi = est > 0.0f ? static_cast<std::uint32_t>(est) : 0u;
+  while (qhi < 255 && dequant(qhi) < hi) ++qhi;
+  while (qhi > 0 && dequant(qhi - 1) >= hi) --qhi;
+  if (dequant(qhi) < hi) return false;  // q=255 still short: retry with 2x scale
+
+  qlo_out = static_cast<std::uint8_t>(qlo);
+  qhi_out = static_cast<std::uint8_t>(qhi);
+  return true;
+}
+
+void compress_one(const WideBvhNode& src, CompressedWideNode& dst,
+                  std::span<const WideLeaf> leaves, std::size_t node_count) {
+  (void)leaves, (void)node_count;  // consumed only by the debug checks below
+  dst.count = static_cast<std::uint8_t>(src.count);
+
+  // Child metadata: the BFS collapse allocates one parent's interior
+  // children at consecutive wide-node indices and its leaf children at
+  // consecutive leaf indices, so two bases plus a 3-bit per-slot ordinal
+  // reconstruct the full child table.
+  dst.child_base = 0;
+  dst.leaf_base = 0;
+  std::uint32_t interior_ord = 0, leaf_ord = 0;
+  for (std::uint32_t i = 0; i < kWideBvhWidth; ++i) {
+    if (i >= src.count) {
+      dst.meta[i] = 0;
+      continue;
+    }
+    const std::uint32_t child = src.child[i];
+    if (child & WideBvhNode::kLeafBit) {
+      const std::uint32_t li = child & ~WideBvhNode::kLeafBit;
+      if (leaf_ord == 0) dst.leaf_base = li;
+      RTNN_DCHECK(li == dst.leaf_base + leaf_ord && li < leaves.size(),
+                  "leaf children not consecutive — collapse contract broken");
+      dst.meta[i] = CompressedWideNode::kMetaLeaf |
+                    static_cast<std::uint8_t>(leaf_ord & CompressedWideNode::kMetaOrdinal);
+      ++leaf_ord;
+    } else {
+      if (interior_ord == 0) dst.child_base = child;
+      RTNN_DCHECK(child == dst.child_base + interior_ord && child < node_count,
+                  "interior children not consecutive — collapse contract broken");
+      dst.meta[i] = static_cast<std::uint8_t>(interior_ord & CompressedWideNode::kMetaOrdinal);
+      ++interior_ord;
+    }
+  }
+
+  // Content bounds over the valid slots (empty slots are inverted and
+  // would poison the union).
+  constexpr float kInf = std::numeric_limits<float>::infinity();
+  float lo[3] = {kInf, kInf, kInf};
+  float hi[3] = {-kInf, -kInf, -kInf};
+  for (std::uint32_t i = 0; i < src.count; ++i) {
+    lo[0] = std::min(lo[0], src.minx[i]);
+    lo[1] = std::min(lo[1], src.miny[i]);
+    lo[2] = std::min(lo[2], src.minz[i]);
+    hi[0] = std::max(hi[0], src.maxx[i]);
+    hi[1] = std::max(hi[1], src.maxy[i]);
+    hi[2] = std::max(hi[2], src.maxz[i]);
+  }
+  dst.anchor_x = lo[0];
+  dst.anchor_y = lo[1];
+  dst.anchor_z = lo[2];
+
+  const float* slot_lo[3] = {src.minx, src.miny, src.minz};
+  const float* slot_hi[3] = {src.maxx, src.maxy, src.maxz};
+  std::uint8_t* qlo[3] = {dst.qlox, dst.qloy, dst.qloz};
+  std::uint8_t* qhi[3] = {dst.qhix, dst.qhiy, dst.qhiz};
+  std::int8_t* exps[3] = {&dst.exp_x, &dst.exp_y, &dst.exp_z};
+
+  for (int a = 0; a < 3; ++a) {
+    int e = initial_exponent(hi[a] - lo[a]);
+    for (;; ++e) {
+      RTNN_CHECK(e <= kExpMax, "quantization exponent retry ran past 2^127");
+      const float scale = quant_scale(static_cast<std::int8_t>(e));
+      bool ok = true;
+      for (std::uint32_t i = 0; i < src.count && ok; ++i) {
+        ok = quantize_axis(slot_lo[a][i], slot_hi[a][i], lo[a], scale,
+                           qlo[a][i], qhi[a][i]);
+      }
+      if (ok) {
+        *exps[a] = static_cast<std::int8_t>(e);
+        break;
+      }
+    }
+    // Empty slots: inverted lanes. Traversal masks them off via
+    // valid_mask() — with a degenerate (zero-extent) axis the decoded box
+    // can collapse to a point rather than stay inverted, so the mask, not
+    // the decoded bounds, is the correctness boundary.
+    for (std::uint32_t i = src.count; i < kWideBvhWidth; ++i) {
+      qlo[a][i] = 255;
+      qhi[a][i] = 0;
+    }
+  }
+}
+
+}  // namespace
+
+void WideBvh::compress_nodes() {
+  compressed_nodes_.resize(nodes_.size());
+  parallel_for(0, static_cast<std::int64_t>(nodes_.size()), [&](std::int64_t ni) {
+    const auto i = static_cast<std::size_t>(ni);
+    compress_one(nodes_[i], compressed_nodes_[i], leaves_, nodes_.size());
+  }, grain::kElementwise / kWideBvhWidth);
+}
+
+}  // namespace rtnn::rt

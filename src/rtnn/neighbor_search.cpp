@@ -23,6 +23,8 @@ NeighborSearch::Report& NeighborSearch::Report::operator+=(const Report& o) {
   batch_bins += o.batch_bins;
   shard_retries += o.shard_retries;
   shards_dropped += o.shards_dropped;
+  index_node_bytes = std::max(index_node_bytes, o.index_node_bytes);
+  index_total_bytes = std::max(index_total_bytes, o.index_total_bytes);
   return *this;
 }
 

@@ -83,9 +83,15 @@ class NeighborSearch {
     // path; zero everywhere else).
     std::uint32_t shard_retries = 0;   // failed shard attempts that were retried
     std::uint32_t shards_dropped = 0;  // shards excluded from a degraded gather
+    // Memory footprint of the traversal index actually launched against
+    // (the selected wide-BVH layout's byte accounting; the largest accel
+    // of the call when partitioning builds several).
+    std::uint64_t index_node_bytes = 0;   // node array alone
+    std::uint64_t index_total_bytes = 0;  // + shared leaf/prim arrays
     /// Aggregation across calls/batches (the serving layer's per-service
     /// totals): every time and counter sums exactly; sah_inflation keeps
-    /// the worst (largest) quality degradation observed.
+    /// the worst (largest) quality degradation observed, and the index
+    /// byte gauges keep the largest footprint seen.
     Report& operator+=(const Report& o);
   };
 

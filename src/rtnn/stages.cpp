@@ -85,7 +85,8 @@ const ox::Accel& SearchContext::acquire_global_accel() {
 
 void ScheduleStage::run(SearchContext& ctx) {
   ScheduleResult sched = schedule_queries(ctx.acquire_global_accel(), ctx.points,
-                                          ctx.queries, ctx.params.simt_launches);
+                                          ctx.queries, ctx.params.simt_launches,
+                                          ctx.params.use_compressed_bvh);
   ctx.order = std::move(sched.order);
   ctx.report.first_hit_stats = sched.first_hit_stats;
   ctx.report.time.first_search += sched.first_hit_seconds;
@@ -124,6 +125,7 @@ void LaunchStage::launch_chunk(SearchContext& ctx, const ox::Accel& accel,
   ox::LaunchOptions options;
   options.model = ctx.params.simt_launches ? ox::ExecutionModel::kWarpLockstep
                                            : ox::ExecutionModel::kIndependent;
+  options.use_compressed_bvh = ctx.params.use_compressed_bvh;
   const auto width = static_cast<std::uint32_t>(ids.size());
   if (ctx.params.mode == SearchMode::kRange) {
     const bool skip_test = skip_sphere_test || ctx.params.elide_sphere_test;
@@ -223,6 +225,17 @@ void LaunchStage::run(SearchContext& ctx) {
     } else {
       local = ctx.build_accel_width(width);
       accel = &local;
+    }
+    // Footprint gauge: the byte cost of the node layout these launches
+    // actually traverse (SIMT launches walk the binary tree and report 0).
+    if (!ctx.params.simt_launches) {
+      const rt::WideBvhStats ws = ctx.params.use_compressed_bvh
+                                      ? accel->wide_bvh().compressed_stats()
+                                      : accel->wide_bvh().stats();
+      ctx.report.index_node_bytes =
+          std::max(ctx.report.index_node_bytes, ws.node_bytes);
+      ctx.report.index_total_bytes =
+          std::max(ctx.report.index_total_bytes, ws.total_index_bytes);
     }
     launch_unit(ctx, *accel, unit);
   }

@@ -74,6 +74,14 @@ struct SearchParams {
   /// enables divergence/occupancy counters; characterization runs only).
   bool simt_launches = false;
 
+  /// Traverse the quantized compressed wide-BVH layout on independent
+  /// launches (the production default; ~1/3 the node bytes, identical
+  /// candidate sets). Clear to traverse the FP32 SoA nodes — the
+  /// configuration the default cost-model constants were calibrated
+  /// against. Pipeline-shaping, like simt_launches: excluded from
+  /// batch_key() because it cannot change any result.
+  bool use_compressed_bvh = true;
+
   // --- Approximate search (paper section 8, "Approximate Neighbor
   // Search") ---
 

@@ -84,6 +84,35 @@ TEST(MemoryHierarchySim, L2CatchesL1Misses) {
   EXPECT_LT(mem.l1_stats().hit_rate(), 1.0);
 }
 
+TEST(MemoryHierarchySim, AccessRangeTouchesEveryCoveredLine) {
+  // 128 B L1 lines: the line-accounting the node-layout comparison rests
+  // on. A 256 B FP32 wide node spans 2 lines; an 80 B compressed node
+  // spans 1 (when aligned); a small range straddling a boundary spans 2;
+  // an empty range touches nothing.
+  const CacheConfig l1{2048, 128, 2};
+  const CacheConfig l2{16 * 1024, 128, 4};
+  {
+    MemoryHierarchy mem(l1, l2);
+    mem.access_range(0, 256);
+    EXPECT_EQ(mem.l1_stats().accesses, 2u);
+  }
+  {
+    MemoryHierarchy mem(l1, l2);
+    mem.access_range(0, 80);
+    EXPECT_EQ(mem.l1_stats().accesses, 1u);
+  }
+  {
+    MemoryHierarchy mem(l1, l2);
+    mem.access_range(120, 16);  // 8 bytes before the boundary, 8 after
+    EXPECT_EQ(mem.l1_stats().accesses, 2u);
+  }
+  {
+    MemoryHierarchy mem(l1, l2);
+    mem.access_range(64, 0);
+    EXPECT_EQ(mem.l1_stats().accesses, 0u);
+  }
+}
+
 TEST(CacheStatsArith, Accumulate) {
   CacheStats a{10, 5};
   const CacheStats b{20, 10};

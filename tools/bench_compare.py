@@ -77,36 +77,40 @@ ADMISSION_METRICS = frozenset(
 
 
 def index_stage_metrics(report):
-    """{(case_name, metric_name): value} for serving.* breakdown metrics.
+    """{(case_name, metric_name): value} for breakdown metrics.
 
-    The serving cases publish their aggregate TimeBreakdown as metrics
-    named ``*stage.<phase>`` (plus ``*stage.launches``); pairing the two
-    reports' values attributes a serving delta to its phase — e.g. reorder
-    cost showing up in stage.opt against a larger win in stage.search.
-    The sharded case (serving.sharded.*) emits the same shape per tenant
-    (``flat.stage.*`` / ``sharded.stage.*``), and the multi-tenant
-    overload case (serving.multi_tenant.*) contributes its admission
-    scalars (ADMISSION_METRICS).
+    Any case may publish a TimeBreakdown as metrics named
+    ``*stage.<phase>`` (plus ``*stage.launches``); pairing the two
+    reports' values attributes a wall-clock delta to its phase — e.g.
+    reorder cost showing up in stage.opt against a larger win in
+    stage.search. The serving cases emit the shape per tenant
+    (``flat.stage.*`` / ``sharded.stage.*``), fig11 emits it per dataset
+    for the rtnn backend (``knn.rtnn.<ds>.stage.*``), and the
+    multi-tenant overload case (serving.multi_tenant.*) contributes its
+    admission scalars (ADMISSION_METRICS).
     """
     metrics = {}
     for case in report.get("cases", []):
-        if case.get("status") != "ok" or not case["name"].startswith("serving."):
+        if case.get("status") != "ok":
             continue
         for metric in case.get("metrics", []):
-            if "stage." in metric["name"] or metric["name"] in ADMISSION_METRICS:
+            if "stage." in metric["name"] or (
+                case["name"].startswith("serving.")
+                and metric["name"] in ADMISSION_METRICS
+            ):
                 metrics[(case["name"], metric["name"])] = float(metric["value"])
     return metrics
 
 
 def print_stage_breakdown(baseline, current):
-    """Informational per-stage deltas for serving.* cases; never gates."""
+    """Informational per-stage deltas; never gates."""
     base_metrics = index_stage_metrics(baseline)
     cur_metrics = index_stage_metrics(current)
     common = sorted(set(base_metrics) & set(cur_metrics))
     if not common:
         return
     print()
-    print("serving per-stage / admission breakdown (informational, not gated):")
+    print("per-stage / admission breakdown (informational, not gated):")
     print(f"{'case':<24} {'stage':<20} {'base':>12} {'cur':>12} {'delta':>8}")
     for key in common:
         base = base_metrics[key]
@@ -117,6 +121,63 @@ def print_stage_breakdown(baseline, current):
         )
     for key in sorted(set(cur_metrics) - set(base_metrics)):
         print(f"note: new stage metric not in baseline: {key[0]}/{key[1]}")
+
+
+def print_hotspot_attribution(baseline, current, moved, threshold):
+    """PerFlow-style attribution: for each case whose timing moved past the
+    threshold, name which TimeBreakdown stage moved the most.
+
+    ``moved`` is the list of (case, timing, base, cur, delta) tuples the
+    gate flagged (regressions and improvements). For every such case that
+    also publishes ``<workload>.stage.<phase>`` metrics, the stage whose
+    absolute seconds changed the most is named as the dominant mover —
+    attributing the wall-clock delta to a pipeline phase instead of
+    leaving it a single opaque number. Informational only; never gates.
+    """
+    if not moved:
+        return
+    base_metrics = index_stage_metrics(baseline)
+    cur_metrics = index_stage_metrics(current)
+    moved_cases = sorted({case for case, *_ in moved})
+    # Group the stage metrics of each moved case by workload prefix
+    # (the text before ".stage."; "stage.x" with no prefix groups as "").
+    printed_header = False
+    for case_name in moved_cases:
+        workloads = {}
+        for (case, metric), base_v in base_metrics.items():
+            if case != case_name or "stage." not in metric:
+                continue
+            if (case, metric) not in cur_metrics:
+                continue
+            prefix, _, phase = metric.rpartition("stage.")
+            if phase == "launches":
+                continue
+            workloads.setdefault(prefix.rstrip("."), []).append(
+                (phase, base_v, cur_metrics[(case, metric)])
+            )
+        for workload, phases in sorted(workloads.items()):
+            movers = sorted(
+                ((cur_v - base_v, phase, base_v, cur_v) for phase, base_v, cur_v in phases),
+                key=lambda m: abs(m[0]),
+                reverse=True,
+            )
+            total_delta = sum(m[0] for m in movers)
+            if not movers or abs(movers[0][0]) == 0.0:
+                continue
+            if not printed_header:
+                print()
+                print(
+                    "hotspot attribution for timings moved past "
+                    f"{threshold:.0%} (informational, not gated):"
+                )
+                printed_header = True
+            delta, phase, base_v, cur_v = movers[0]
+            share = delta / total_delta if total_delta else float("nan")
+            print(
+                f"  {case_name} [{workload or 'total'}]: dominant mover is "
+                f"stage.{phase} ({base_v:.5f}s -> {cur_v:.5f}s, "
+                f"{delta:+.5f}s, {share:.0%} of the net stage delta)"
+            )
 
 
 def failed_cases(report):
@@ -240,6 +301,9 @@ def main():
         print(f"{len(improvements)} timings improved past the threshold — "
               "consider refreshing bench/baseline.json")
     print_stage_breakdown(baseline, current)
+    moved = [(case, timing, base, cur, delta)
+             for (case, timing), base, cur, delta in regressions + improvements]
+    print_hotspot_attribution(baseline, current, moved, args.threshold)
 
     if args.update_baseline:
         rewritten = dict(current)
