@@ -31,7 +31,9 @@
 
 #include "core/aabb.hpp"
 #include "core/error.hpp"
+#include "core/vec3.hpp"
 #include "rtcore/bvh.hpp"
+#include "rtcore/tlas.hpp"
 #include "rtcore/traversal.hpp"
 #include "rtcore/wide_bvh.hpp"
 
@@ -46,6 +48,17 @@ struct AccelBuildOptions {
   std::uint32_t leaf_size = 1;
 };
 
+/// Options for the two-level (IAS-like) build: a top-level BVH over
+/// spatial tiles, each owning its own bottom-level index.
+struct TiledAccelOptions {
+  /// Primitives per bottom-level leaf (1 = RTNN's configuration).
+  std::uint32_t leaf_size = 1;
+  /// Defer each tile's bottom-level build to its first routed ray
+  /// (build-on-first-route). The deferred cost lands inside the first
+  /// launch that reaches the tile.
+  bool lazy_build = false;
+};
+
 namespace detail {
 
 /// The shared immutable build product behind an Accel handle. The wide
@@ -56,6 +69,11 @@ namespace detail {
 struct AccelData {
   rt::Bvh bvh;
   rt::WideBvh wide;
+  /// The two-level build product (build_tiled_accel). Exactly one of
+  /// {bvh+wide, tiled} is populated per accel; a tiled accel's per-tile
+  /// copy-on-write nests inside this struct's own COW, so snapshots of a
+  /// tiled accel share untouched tiles even across update_tiled() calls.
+  rt::TiledBvh tiled;
 };
 
 }  // namespace detail
@@ -71,6 +89,7 @@ class Accel {
 
   const rt::Bvh& bvh() const {
     RTNN_CHECK(data_ != nullptr, "accel not built");
+    RTNN_CHECK(!is_tiled(), "a tiled accel has no monolithic binary BVH");
     return data_->bvh;
   }
 
@@ -78,11 +97,33 @@ class Accel {
   /// traverses.
   const rt::WideBvh& wide_bvh() const {
     RTNN_CHECK(data_ != nullptr, "accel not built");
+    RTNN_CHECK(!is_tiled(), "a tiled accel has no monolithic wide BVH");
     return data_->wide;
   }
 
-  std::uint32_t prim_count() const { return data_ ? data_->bvh.prim_count() : 0; }
+  /// True when this accel is the two-level build product
+  /// (build_tiled_accel): launches take the TLAS walk and updates go
+  /// through update_tiled().
+  bool is_tiled() const { return data_ != nullptr && !data_->tiled.empty(); }
+
+  const rt::TiledBvh& tiled_bvh() const {
+    RTNN_CHECK(is_tiled(), "accel is not a tiled build product");
+    return data_->tiled;
+  }
+
+  std::uint32_t prim_count() const {
+    if (data_ == nullptr) return 0;
+    if (is_tiled()) return static_cast<std::uint32_t>(data_->tiled.prim_count());
+    return data_->bvh.prim_count();
+  }
   bool built() const { return data_ != nullptr; }
+
+  /// Root bounds of whichever build product this accel holds (the
+  /// scheduler seeds its uniform grid from this).
+  const Aabb& scene_bounds() const {
+    RTNN_CHECK(data_ != nullptr, "accel not built");
+    return is_tiled() ? data_->tiled.scene_bounds() : data_->bvh.scene_bounds();
+  }
 
   /// Refits both representations to moved primitive boxes (same count and
   /// id order as the build): bottom-up bound refresh on the binary tree,
@@ -96,6 +137,15 @@ class Accel {
   /// without materializing the box array (the per-frame RTNN shape).
   void refit(std::span<const Vec3> points, float aabb_width);
 
+  /// Tiled-accel update: absorbs one frame of motion locally. Only
+  /// *touched* tiles (bitwise position change) do any work, each deciding
+  /// refit-vs-rebuild through `policy` — the per-tile form of the
+  /// monolithic refit-or-rebuild choice. Copy-on-write like refit():
+  /// snapshots sharing this build product keep the pre-update tiles.
+  /// Wall time is charged to refit_seconds().
+  rt::TiledUpdateStats update_tiled(std::span<const Vec3> points,
+                                    const rt::TileUpdatePolicy& policy);
+
   /// Build-time of the last build, seconds (the BVH phase of Figure 12).
   double build_seconds() const { return build_seconds_; }
 
@@ -104,8 +154,13 @@ class Accel {
 
   /// SAH cost relative to the last full build of this topology: 1.0 when
   /// freshly built, growing as refits stretch the boxes. Feeds the
-  /// refit-vs-rebuild policy (CostModel::max_sah_inflation).
-  double sah_inflation() const { return data_ ? data_->bvh.sah_inflation() : 1.0; }
+  /// refit-vs-rebuild policy (CostModel::max_sah_inflation). For a tiled
+  /// accel this is the *worst* built tile's inflation — the number the
+  /// per-tile policy reacted to most recently.
+  double sah_inflation() const {
+    if (data_ == nullptr) return 1.0;
+    return is_tiled() ? data_->tiled.max_sah_inflation() : data_->bvh.sah_inflation();
+  }
 
  private:
   friend class Context;
@@ -166,6 +221,16 @@ class Context {
   /// the returned Accel snapshots the primitive boxes.
   Accel build_accel(std::span<const Aabb> prim_aabbs,
                     const AccelBuildOptions& options = {}) const;
+
+  /// Builds the two-level (IAS-like) product: `tile_ids[t]` lists the
+  /// point ids of spatial tile t (a partition of the cloud; the caller
+  /// supplies Morton-contiguous tiles from the sharding planner), every
+  /// point boxed as Aabb::cube(points[i], aabb_width). With lazy_build the
+  /// bottom-level indexes defer to their first routed ray and only the
+  /// tile bounds + top-level BVH are paid here.
+  Accel build_tiled_accel(std::span<const Vec3> points, float aabb_width,
+                          std::span<const std::vector<std::uint32_t>> tile_ids,
+                          const TiledAccelOptions& options = {}) const;
 };
 
 namespace detail {
@@ -214,9 +279,14 @@ LaunchStats launch(const Accel& accel, P& pipeline, std::uint32_t width,
   config.use_compressed = options.use_compressed_bvh;
   const bool wide =
       options.model == ExecutionModel::kIndependent && options.use_wide_bvh;
+  // A tiled accel has exactly one traversal: the TLAS walk (independent
+  // model; use_compressed_bvh still selects each tile's BLAS layout).
   const LaunchStats stats =
-      wide ? rt::trace(accel.wide_bvh(), std::span<const Ray>(rays), adapter, config)
-           : rt::trace(accel.bvh(), std::span<const Ray>(rays), adapter, config);
+      accel.is_tiled()
+          ? rt::trace(accel.tiled_bvh(), std::span<const Ray>(rays), adapter, config)
+      : wide
+          ? rt::trace(accel.wide_bvh(), std::span<const Ray>(rays), adapter, config)
+          : rt::trace(accel.bvh(), std::span<const Ray>(rays), adapter, config);
 
   if constexpr (kNeedsHitInfo) {
     parallel_for(0, width, [&](std::int64_t i) {

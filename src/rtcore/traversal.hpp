@@ -50,6 +50,7 @@
 #include "rtcore/bvh.hpp"
 #include "rtcore/cache_sim.hpp"
 #include "rtcore/launch_stats.hpp"
+#include "rtcore/tlas.hpp"
 #include "rtcore/wide_bvh.hpp"
 
 namespace rtnn::rt {
@@ -105,6 +106,12 @@ constexpr std::uint64_t kPrimStride = 32;
 // copy of the primitive AABBs — contiguous, packed at sizeof(Aabb), in its
 // own region so the simulator sees it as the distinct array it is.
 constexpr std::uint64_t kOrderedPrimRegionBase = std::uint64_t{1} << 41;
+// Two-level traversal: the top-level tree's nodes live in their own
+// region, and each tile's bottom-level arrays are offset by the tile's
+// slice of the address space, so the simulator sees distinct tiles as the
+// distinct allocations they are (per-tile working-set bytes stay honest).
+constexpr std::uint64_t kTlasRegionBase = std::uint64_t{1} << 42;
+constexpr std::uint64_t kTileRegionStride = std::uint64_t{1} << 33;
 
 /// Per-ray traversal state for the lockstep engine.
 struct LaneState {
@@ -286,10 +293,14 @@ inline std::uint32_t compressed_node_hits(const CompressedWideNode& node, const 
 ///    pops proceed in ascending slot order — the BFS build allocates a
 ///    parent's children at consecutive indices, making consecutive pops
 ///    walk consecutive node addresses.
+/// `mem_base` shifts every simulated address by a caller-chosen offset —
+/// 0 for the monolithic index (byte-identical to before), or the tile's
+/// region (kTileRegionStride slice) when this walk runs as a BLAS under
+/// the two-level traversal, so distinct tiles' arrays never alias.
 template <typename Program>
 void trace_one_wide(const WideBvh& bvh, const Ray& ray, std::uint32_t ray_id,
                     Program& program, LaunchStats* stats, std::uint32_t* stack,
-                    MemoryHierarchy* mem = nullptr) {
+                    MemoryHierarchy* mem = nullptr, std::uint64_t mem_base = 0) {
   const auto nodes = bvh.nodes();
   const auto leaves = bvh.leaves();
   const auto prim_order = bvh.prim_order();
@@ -301,7 +312,10 @@ void trace_one_wide(const WideBvh& bvh, const Ray& ray, std::uint32_t ray_id,
     const std::uint32_t node_id = stack[--sp];
     if (sp > 0) RTNN_PREFETCH(&nodes[stack[sp - 1]]);
     const WideBvhNode& node = nodes[node_id];
-    if (mem) mem->access_range(node_id * sizeof(WideBvhNode), sizeof(WideBvhNode));
+    if (mem) {
+      mem->access_range(mem_base + node_id * sizeof(WideBvhNode),
+                        sizeof(WideBvhNode));
+    }
     if (stats) {
       ++stats->node_visits;
       stats->aabb_tests += node.count;
@@ -322,7 +336,8 @@ void trace_one_wide(const WideBvh& bvh, const Ray& ray, std::uint32_t ray_id,
           const std::uint32_t prim = prim_order[s];
           if (leaf.count > 1) {
             if (mem) {
-              mem->access_range(kPrimRegionBase + prim * kPrimStride, sizeof(Aabb));
+              mem->access_range(mem_base + kPrimRegionBase + prim * kPrimStride,
+                                sizeof(Aabb));
             }
             if (stats) ++stats->aabb_tests;
             if (!ray_intersects_aabb(ray, prim_aabbs[prim], inv_dir)) continue;
@@ -357,7 +372,7 @@ void trace_one_wide(const WideBvh& bvh, const Ray& ray, std::uint32_t ray_id,
 template <typename Program>
 void trace_one_compressed(const WideBvh& bvh, const Ray& ray, std::uint32_t ray_id,
                           Program& program, LaunchStats* stats, std::uint32_t* stack,
-                          MemoryHierarchy* mem = nullptr) {
+                          MemoryHierarchy* mem = nullptr, std::uint64_t mem_base = 0) {
   const auto nodes = bvh.compressed_nodes();
   const auto leaves = bvh.leaves();
   const auto prim_order = bvh.prim_order();
@@ -370,7 +385,7 @@ void trace_one_compressed(const WideBvh& bvh, const Ray& ray, std::uint32_t ray_
     if (sp > 0) RTNN_PREFETCH(&nodes[stack[sp - 1]]);
     const CompressedWideNode& node = nodes[node_id];
     if (mem) {
-      mem->access_range(node_id * sizeof(CompressedWideNode),
+      mem->access_range(mem_base + node_id * sizeof(CompressedWideNode),
                         sizeof(CompressedWideNode));
     }
     if (stats) {
@@ -388,7 +403,8 @@ void trace_one_compressed(const WideBvh& bvh, const Ray& ray, std::uint32_t ray_
         for (std::uint32_t s = leaf.first; s < leaf.first + leaf.count; ++s) {
           const std::uint32_t prim = prim_order[s];
           if (mem) {
-            mem->access_range(kOrderedPrimRegionBase + s * sizeof(Aabb), sizeof(Aabb));
+            mem->access_range(mem_base + kOrderedPrimRegionBase + s * sizeof(Aabb),
+                              sizeof(Aabb));
           }
           if (stats) ++stats->aabb_tests;
           if (!ray_intersects_aabb(ray, ordered_prim_aabbs[s], inv_dir)) continue;
@@ -404,6 +420,80 @@ void trace_one_compressed(const WideBvh& bvh, const Ray& ray, std::uint32_t ray_
     }
     RTNN_DCHECK(sp + n_push <= kWideStackDepth, "wide traversal stack overflow");
     for (std::uint32_t i = n_push; i > 0; --i) stack[sp++] = pushes[i - 1];
+  }
+}
+
+/// Shader shim between a tile's bottom-level walk and the caller's
+/// program: BLAS primitive ids are tile-local slots, so intersect()
+/// remaps them through the tile's id list before forwarding. kTerminate
+/// is latched so the TLAS walk can stop popping top-level nodes — the
+/// inner walk already returned, and its stats (including
+/// terminated_rays) were counted exactly once.
+template <typename Program>
+struct TileProgram {
+  Program& inner;
+  const std::uint32_t* to_global;
+  bool terminated = false;
+
+  TraceAction intersect(std::uint32_t ray_id, std::uint32_t local_prim) {
+    const TraceAction action = inner.intersect(ray_id, to_global[local_prim]);
+    if (action == TraceAction::kTerminate) terminated = true;
+    return action;
+  }
+};
+
+/// Single-ray two-level traversal: a binary stack walk of the top tree
+/// culls whole tiles; each intersected tile leaf lazily builds (first
+/// route) and then runs the ordinary wide/compressed BLAS walk with ids
+/// remapped to global. Candidate sets match the monolithic path because
+/// tile bounds contain every member AABB — top-level culling only skips
+/// tiles the ray provably misses — and tiles partition the primitives, so
+/// the union of per-tile candidates is exactly the monolithic candidate
+/// set. `wide_stack` is the caller's kWideStackDepth scratch reused by
+/// every BLAS walk (tiles traverse one at a time).
+template <typename Program>
+void trace_one_tiled(const TiledBvh& tlas, const Ray& ray, std::uint32_t ray_id,
+                     Program& program, LaunchStats* stats, std::uint32_t* wide_stack,
+                     bool use_compressed, MemoryHierarchy* mem = nullptr) {
+  const Bvh& top = tlas.top();
+  if (top.empty()) return;
+  std::uint32_t stack[kMaxStackDepth];
+  std::uint32_t sp = 0;
+  stack[sp++] = top.root();
+  const auto nodes = top.nodes();
+  const auto tile_order = top.prim_order();
+  while (sp > 0) {
+    const BvhNode& node = nodes[stack[--sp]];
+    if (mem) {
+      mem->access(kTlasRegionBase + (&node - nodes.data()) * kNodeStride);
+    }
+    if (stats) {
+      ++stats->node_visits;
+      ++stats->aabb_tests;
+    }
+    if (!ray_intersects_aabb(ray, node.bounds)) continue;
+    if (node.is_leaf()) {
+      for (std::uint32_t s = node.first; s < node.first + node.count; ++s) {
+        const std::uint32_t t = tile_order[s];
+        const TiledBvh::Tile& tile = tlas.tile(t);
+        const TiledBvh::TileIndex& index =
+            tile.ensure_index(tlas.aabb_width(), tlas.leaf_size());
+        TileProgram<Program> tp{program, tile.prim_ids().data()};
+        const std::uint64_t tile_base = std::uint64_t{t} * kTileRegionStride;
+        if (use_compressed) {
+          trace_one_compressed(index.wide, ray, ray_id, tp, stats, wide_stack, mem,
+                               tile_base);
+        } else {
+          trace_one_wide(index.wide, ray, ray_id, tp, stats, wide_stack, mem,
+                         tile_base);
+        }
+        if (tp.terminated) return;
+      }
+    } else {
+      RTNN_DCHECK(sp + 2 <= kMaxStackDepth, "traversal stack overflow");
+      stack[sp++] = node.left;
+      stack[sp++] = node.right;
+    }
   }
 }
 
@@ -583,6 +673,51 @@ LaunchStats trace(const WideBvh& bvh, std::span<const Ray> rays, Program& progra
                                static_cast<std::uint32_t>(i), program, stats, stack,
                                mem_ptr);
       }
+    }
+    if (mem) {
+      local.l1 = mem->l1_stats();
+      local.l2 = mem->l2_stats();
+    }
+    if (accumulator) accumulator->local() += local;
+  };
+  if (config.parallel) {
+    parallel_for_chunks(0, n, run_chunk, grain::kTrace);
+  } else {
+    run_chunk(0, n);
+  }
+  if (accumulator) total += accumulator->reduce();
+  return total;
+}
+
+/// Two-level overload: the TLAS walk over a tiled index. Independent
+/// model only, same chunking/stats/caching shape as the WideBvh overload;
+/// config.use_compressed selects each tile's BLAS layout. Lazy tiles are
+/// built on first route from inside the launch (thread-safe, built once
+/// regardless of how many chunks race to the same tile).
+template <typename Program>
+LaunchStats trace(const TiledBvh& tlas, std::span<const Ray> rays, Program& program,
+                  const TraceConfig& config = {}) {
+  RTNN_CHECK(config.model == ExecutionModel::kIndependent,
+             "the tiled BVH serves only the independent execution model; "
+             "warp-lockstep simulation walks the monolithic binary BVH");
+  LaunchStats total;
+  total.rays = rays.size();
+  if (rays.empty() || tlas.empty()) return total;
+
+  const auto n = static_cast<std::int64_t>(rays.size());
+  std::optional<StatsAccumulator> accumulator;
+  if (config.collect_stats || config.simulate_caches) accumulator.emplace();
+  auto run_chunk = [&](std::int64_t lo, std::int64_t hi) {
+    LaunchStats local;
+    LaunchStats* stats = config.collect_stats ? &local : nullptr;
+    std::optional<MemoryHierarchy> mem;
+    if (config.simulate_caches) mem.emplace(config.l1, config.l2);
+    MemoryHierarchy* mem_ptr = mem ? &*mem : nullptr;
+    std::uint32_t stack[detail::kWideStackDepth];
+    for (std::int64_t i = lo; i < hi; ++i) {
+      detail::trace_one_tiled(tlas, rays[static_cast<std::size_t>(i)],
+                              static_cast<std::uint32_t>(i), program, stats, stack,
+                              config.use_compressed, mem_ptr);
     }
     if (mem) {
       local.l1 = mem->l1_stats();

@@ -23,6 +23,11 @@ NeighborSearch::Report& NeighborSearch::Report::operator+=(const Report& o) {
   batch_bins += o.batch_bins;
   shard_retries += o.shard_retries;
   shards_dropped += o.shards_dropped;
+  tile_count = std::max(tile_count, o.tile_count);
+  tiles_touched += o.tiles_touched;
+  tile_refits += o.tile_refits;
+  tile_rebuilds += o.tile_rebuilds;
+  tile_lazy_builds += o.tile_lazy_builds;
   index_node_bytes = std::max(index_node_bytes, o.index_node_bytes);
   index_total_bytes = std::max(index_total_bytes, o.index_total_bytes);
   return *this;
@@ -50,6 +55,14 @@ void NeighborSearch::set_index_persistence(bool on) {
   if (!on) index_cache_ = IndexCache{};
 }
 
+void NeighborSearch::set_tiling(const TileOptions& options) {
+  tiling_ = options;
+  // The decomposition is part of the build product: a cached monolithic
+  // accel cannot serve a tiled request (or vice versa), so restart the
+  // lifecycle like a new upload would.
+  index_cache_ = IndexCache{};
+}
+
 PartitionSet NeighborSearch::partition(std::span<const Vec3> queries,
                                        std::span<const std::uint32_t> order,
                                        const SearchParams& params) const {
@@ -66,9 +79,13 @@ void NeighborSearch::init_context(SearchContext& ctx, std::span<const Vec3> quer
              "aabb_scale must be in (0, 1]");
   RTNN_CHECK(!params.elide_sphere_test || params.mode == SearchMode::kRange,
              "elide_sphere_test applies to range search only");
+  RTNN_CHECK(!(tiling_.enabled() && params.simt_launches),
+             "tiled indexes serve independent launches only; warp-lockstep "
+             "characterization walks the monolithic binary BVH");
 
   ctx.points = points_;
   ctx.params = params;
+  ctx.tiling = tiling_;
   ctx.cost_model = &cost_model_;
   ctx.grid = &grid_;
   ctx.grid_valid = &grid_valid_;
@@ -105,8 +122,16 @@ NeighborResult NeighborSearch::run_stages(std::span<const Vec3> queries,
 
 NeighborResult NeighborSearch::search(std::span<const Vec3> queries,
                                       const SearchParams& params, Report* report_out) {
-  const auto stages = make_pipeline(params.opts);
-  return run_stages(queries, params, stages, report_out);
+  SearchParams effective = params;
+  if (tiling_.enabled() && points_.size() > tiling_.tile_threshold) {
+    // Tiling replaces megacell decomposition: both split the same launch
+    // spatially, and partition-local accel builds would discard the tiled
+    // index's per-tile reuse. Scheduling (query ordering) still composes.
+    effective.opts.partitioning = false;
+    effective.opts.bundling = false;
+  }
+  const auto stages = make_pipeline(effective.opts);
+  return run_stages(queries, effective, stages, report_out);
 }
 
 std::vector<NeighborResult> NeighborSearch::search_batched(

@@ -48,6 +48,11 @@ struct IndexCache {
   float width = -1.0f;     // AABB width the accel was built at
   std::size_t count = 0;   // point count it covers
   bool moved = false;
+  /// Whether the cached accel is the two-level (tiled) build product, and
+  /// the tiling it was built under — a change to either invalidates the
+  /// cache like a width change would.
+  bool tiled = false;
+  TileOptions tiling{};
 };
 
 /// One request's rows within a coalesced batch launch: queries
@@ -83,6 +88,15 @@ class NeighborSearch {
     // path; zero everywhere else).
     std::uint32_t shard_retries = 0;   // failed shard attempts that were retried
     std::uint32_t shards_dropped = 0;  // shards excluded from a degraded gather
+    // Two-level (tiled) index lifecycle (all zero when tiling is off).
+    // The touched/refit/rebuild counters are the locality headline: with
+    // local motion, tiles_touched / tile_count stays far below 1 while
+    // the monolithic path would refit everything.
+    std::uint32_t tile_count = 0;       // tiles in the active tiled index (gauge)
+    std::uint32_t tiles_touched = 0;    // tiles whose member points moved
+    std::uint32_t tile_refits = 0;      // touched tiles the policy refit
+    std::uint32_t tile_rebuilds = 0;    // touched tiles the policy rebuilt
+    std::uint32_t tile_lazy_builds = 0; // tiles built on first route this call
     // Memory footprint of the traversal index actually launched against
     // (the selected wide-BVH layout's byte accounting; the largest accel
     // of the call when partitioning builds several).
@@ -121,6 +135,14 @@ class NeighborSearch {
   /// bundling.
   void set_cost_model(const CostModel& model) { cost_model_ = model; }
   const CostModel& cost_model() const { return cost_model_; }
+
+  /// Enables the two-level (tiled) base index (see TileOptions). Takes
+  /// effect at the next search(); changing the tiling invalidates the
+  /// persistent index cache (the decomposition is part of the build).
+  /// Incompatible with simt_launches — the warp-lockstep characterization
+  /// model walks the monolithic binary BVH.
+  void set_tiling(const TileOptions& options);
+  const TileOptions& tiling() const { return tiling_; }
 
   std::size_t point_count() const { return points_.size(); }
 
@@ -174,6 +196,7 @@ class NeighborSearch {
   mutable bool grid_valid_ = false;
   IndexCache index_cache_;    // persistent base-width accel (opt-in)
   bool index_persistence_ = false;
+  TileOptions tiling_{};      // two-level base index (opt-in)
 };
 
 /// One-shot convenience wrapper.

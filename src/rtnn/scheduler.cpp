@@ -35,7 +35,7 @@ ScheduleResult schedule_queries(const ox::Accel& accel, std::span<const Vec3> po
   // Z-order sort of the first-hit AABB centers (= the points themselves),
   // used as the sort key for the queries (Figure 9).
   Timer timer;
-  const Aabb scene = accel.bvh().scene_bounds();
+  const Aabb scene = accel.scene_bounds();
   std::vector<std::uint64_t> keys(n);
   parallel_for(0, static_cast<std::int64_t>(n), [&](std::int64_t i) {
     const std::uint32_t hit = first_hit[static_cast<std::size_t>(i)];

@@ -14,8 +14,14 @@ std::uint32_t plan_shard_count(std::size_t points, std::size_t shard_threshold,
                                std::uint32_t max_shards) {
   if (shard_threshold == 0 || points <= shard_threshold) return 1;
   const std::size_t wanted = (points + shard_threshold - 1) / shard_threshold;
-  const std::size_t cap = max_shards == 0 ? 1 : max_shards;
-  return static_cast<std::uint32_t>(std::min<std::size_t>(wanted, cap));
+  // 0 = unbounded, the codebase-wide "0 = no cap" contract (CloudConfig's
+  // max_shards / max_bin_queries, TileOptions::max_tiles). The split is
+  // still bounded by the point count in plan_shards.
+  if (max_shards == 0) {
+    return static_cast<std::uint32_t>(std::min<std::size_t>(
+        wanted, std::numeric_limits<std::uint32_t>::max()));
+  }
+  return static_cast<std::uint32_t>(std::min<std::size_t>(wanted, max_shards));
 }
 
 ShardPlan plan_shards(std::span<const Vec3> points, std::uint32_t num_shards) {

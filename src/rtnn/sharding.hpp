@@ -58,8 +58,9 @@ struct ShardPlan {
 };
 
 /// How many shards a cloud of `points` points wants: ceil(points /
-/// shard_threshold), clamped to [1, max_shards]. `shard_threshold` = 0
-/// means sharding is off (always 1).
+/// shard_threshold), capped at `max_shards`. `shard_threshold` = 0 means
+/// sharding is off (always 1); `max_shards` = 0 means no cap — the
+/// codebase-wide "0 = unbounded" contract (CloudConfig, batch limits).
 std::uint32_t plan_shard_count(std::size_t points, std::size_t shard_threshold,
                                std::uint32_t max_shards);
 

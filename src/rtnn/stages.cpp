@@ -8,6 +8,7 @@
 #include "rtnn/partitioner.hpp"
 #include "rtnn/pipelines.hpp"
 #include "rtnn/scheduler.hpp"
+#include "rtnn/sharding.hpp"
 
 namespace rtnn {
 
@@ -45,22 +46,76 @@ ox::Accel SearchContext::build_accel_width(float aabb_width) {
   return accel;
 }
 
+ox::Accel SearchContext::build_tiled_accel_width(float aabb_width) {
+  Timer timer;
+  // Tile membership: the same Morton-contiguous near-equal split the
+  // sharding planner uses, so each tile is a compact spatial region with
+  // a tight AABB for the top-level tree.
+  const std::uint32_t num_tiles = plan_shard_count(
+      points.size(), tiling.tile_threshold, tiling.max_tiles);
+  ShardPlan plan = plan_shards(points, num_tiles);
+  std::vector<std::vector<std::uint32_t>> tile_ids;
+  tile_ids.reserve(plan.shards.size());
+  for (ShardPlan::Shard& shard : plan.shards) {
+    tile_ids.push_back(std::move(shard.point_ids));
+  }
+  const ox::Context ctx;
+  ox::TiledAccelOptions options;
+  options.lazy_build = tiling.lazy_build;
+  ox::Accel accel = ctx.build_tiled_accel(points, aabb_width, tile_ids, options);
+  report.time.bvh += timer.elapsed();
+  report.tile_count =
+      std::max(report.tile_count, accel.tiled_bvh().tile_count());
+  return accel;
+}
+
 void SearchContext::sync_index_cache() {
   IndexCache& cache = *index_cache;
-  const bool reusable = cache.accel.built() && cache.count == points.size() &&
-                        cache.width == base_width;
+  const bool want_tiled = tiled_active();
+  const bool reusable =
+      cache.accel.built() && cache.count == points.size() &&
+      cache.width == base_width && cache.tiled == want_tiled &&
+      (!want_tiled ||
+       (cache.tiling.tile_threshold == tiling.tile_threshold &&
+        cache.tiling.max_tiles == tiling.max_tiles &&
+        cache.tiling.lazy_build == tiling.lazy_build));
   if (!reusable) {
-    // New cloud, new radius, or first use: a fresh build is the only
-    // option (and re-anchors the quality baseline).
-    cache.accel = build_accel_width(base_width);
+    // New cloud, new radius, new decomposition, or first use: a fresh
+    // build is the only option (and re-anchors the quality baseline).
+    cache.accel =
+        want_tiled ? build_tiled_accel_width(base_width) : build_accel_width(base_width);
     cache.width = base_width;
     cache.count = points.size();
     cache.moved = false;
+    cache.tiled = want_tiled;
+    cache.tiling = tiling;
   } else if (cache.moved) {
-    // The per-frame decision: refit in place while it is cheaper and the
-    // observed quality holds; otherwise pay a build to reset it.
-    if (choose_index_update(*cost_model, cache.accel.sah_inflation()) ==
-        IndexUpdate::kRefit) {
+    if (want_tiled) {
+      // The per-tile form of the refit-vs-rebuild decision: only touched
+      // tiles do any work, each judged on its *own* observed quality —
+      // a tile under heavy motion rebuilds while its neighbors refit (or
+      // stay untouched entirely).
+      Timer timer;
+      const CostModel* model = cost_model;
+      const rt::TiledUpdateStats us =
+          cache.accel.update_tiled(points, [model](double inflation) {
+            return choose_index_update(*model, inflation) == IndexUpdate::kRefit
+                       ? rt::TileUpdate::kRefit
+                       : rt::TileUpdate::kRebuild;
+          });
+      // Phase split: per-tile rebuilds are BVH work, refits are refit
+      // work; the shared overhead (touched detection, top-tree rebuild)
+      // rides with refit — it is maintenance, not fresh construction.
+      report.time.bvh += us.build_seconds;
+      report.time.refit +=
+          std::max(0.0, timer.elapsed() - us.build_seconds);
+      report.tiles_touched += us.tiles_touched;
+      report.tile_refits += us.tile_refits;
+      report.tile_rebuilds += us.tile_rebuilds;
+    } else if (choose_index_update(*cost_model, cache.accel.sah_inflation()) ==
+               IndexUpdate::kRefit) {
+      // The per-frame decision: refit in place while it is cheaper and
+      // the observed quality holds; otherwise pay a build to reset it.
       Timer timer;
       cache.accel.refit(points, base_width);  // boxes computed in-loop
       report.time.refit += timer.elapsed();
@@ -72,6 +127,10 @@ void SearchContext::sync_index_cache() {
     cache.moved = false;
   }
   report.sah_inflation = cache.accel.sah_inflation();
+  if (cache.tiled) {
+    report.tile_count =
+        std::max(report.tile_count, cache.accel.tiled_bvh().tile_count());
+  }
 }
 
 const ox::Accel& SearchContext::acquire_global_accel() {
@@ -79,14 +138,25 @@ const ox::Accel& SearchContext::acquire_global_accel() {
     sync_index_cache();
     return index_cache->accel;
   }
-  if (!global_accel.built()) global_accel = build_accel_width(base_width);
+  if (!global_accel.built()) {
+    global_accel = tiled_active() ? build_tiled_accel_width(base_width)
+                                  : build_accel_width(base_width);
+  }
   return global_accel;
 }
 
 void ScheduleStage::run(SearchContext& ctx) {
-  ScheduleResult sched = schedule_queries(ctx.acquire_global_accel(), ctx.points,
+  const ox::Accel& accel = ctx.acquire_global_accel();
+  // The first-hit cast routes rays too: tiles it reaches lazily build
+  // here, and belong in the same build-on-first-route count.
+  const std::uint32_t built_before =
+      accel.is_tiled() ? accel.tiled_bvh().built_tile_count() : 0;
+  ScheduleResult sched = schedule_queries(accel, ctx.points,
                                           ctx.queries, ctx.params.simt_launches,
                                           ctx.params.use_compressed_bvh);
+  if (accel.is_tiled()) {
+    ctx.report.tile_lazy_builds += accel.tiled_bvh().built_tile_count() - built_before;
+  }
   ctx.order = std::move(sched.order);
   ctx.report.first_hit_stats = sched.first_hit_stats;
   ctx.report.time.first_search += sched.first_hit_seconds;
@@ -226,18 +296,32 @@ void LaunchStage::run(SearchContext& ctx) {
       local = ctx.build_accel_width(width);
       accel = &local;
     }
-    // Footprint gauge: the byte cost of the node layout these launches
-    // actually traverse (SIMT launches walk the binary tree and report 0).
-    if (!ctx.params.simt_launches) {
-      const rt::WideBvhStats ws = ctx.params.use_compressed_bvh
-                                      ? accel->wide_bvh().compressed_stats()
-                                      : accel->wide_bvh().stats();
-      ctx.report.index_node_bytes =
-          std::max(ctx.report.index_node_bytes, ws.node_bytes);
-      ctx.report.index_total_bytes =
-          std::max(ctx.report.index_total_bytes, ws.total_index_bytes);
-    }
+    const std::uint32_t built_before =
+        accel->is_tiled() ? accel->tiled_bvh().built_tile_count() : 0;
     launch_unit(ctx, *accel, unit);
+    // Footprint gauge: the byte cost of the node layout these launches
+    // actually traversed (SIMT launches walk the binary tree and report
+    // 0). Taken after the launch so a lazy tiled index reports the tiles
+    // the rays actually forced resident, not the pre-launch zero.
+    if (!ctx.params.simt_launches) {
+      if (accel->is_tiled()) {
+        const rt::TiledBvh& tlas = accel->tiled_bvh();
+        ctx.report.tile_lazy_builds += tlas.built_tile_count() - built_before;
+        const rt::TiledBvhStats ts = tlas.stats(ctx.params.use_compressed_bvh);
+        ctx.report.index_node_bytes =
+            std::max(ctx.report.index_node_bytes, ts.node_bytes);
+        ctx.report.index_total_bytes =
+            std::max(ctx.report.index_total_bytes, ts.total_index_bytes);
+      } else {
+        const rt::WideBvhStats ws = ctx.params.use_compressed_bvh
+                                        ? accel->wide_bvh().compressed_stats()
+                                        : accel->wide_bvh().stats();
+        ctx.report.index_node_bytes =
+            std::max(ctx.report.index_node_bytes, ws.node_bytes);
+        ctx.report.index_total_bytes =
+            std::max(ctx.report.index_total_bytes, ws.total_index_bytes);
+      }
+    }
   }
 }
 

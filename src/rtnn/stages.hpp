@@ -50,6 +50,16 @@ struct SearchContext {
   /// entries per choose_index_update — instead of building a call-local
   /// accel. Null on the static path.
   IndexCache* index_cache = nullptr;
+  /// Two-level base index configuration (NeighborSearch::set_tiling).
+  /// When active for this cloud, the base-width accel is a TLAS over
+  /// spatial tiles instead of one monolithic BVH.
+  TileOptions tiling{};
+
+  /// Whether this call's base accel is (or will be) tiled: tiling is on
+  /// and the cloud is over the threshold.
+  bool tiled_active() const {
+    return tiling.enabled() && points.size() > tiling.tile_threshold;
+  }
 
   // --- Evolving state ---
   float base_width = 0.0f;           // 2r·aabb_scale, the naive AABB width
@@ -71,6 +81,13 @@ struct SearchContext {
   /// Builds a BVH over `points` with cubic AABBs of `aabb_width`,
   /// charging the build to report.time.bvh.
   ox::Accel build_accel_width(float aabb_width);
+
+  /// Builds the two-level base accel: Morton-contiguous tiles from the
+  /// sharding planner (plan_shards), each owning its own bottom-level
+  /// index, under a top-level BVH. Charged to report.time.bvh like any
+  /// other build; with tiling.lazy_build only the tile bounds and top
+  /// tree are paid here.
+  ox::Accel build_tiled_accel_width(float aabb_width);
 
   /// The base-width BVH shared by the scheduling pre-pass and the
   /// unpartitioned launch path. With an index_cache attached this is the

@@ -1,6 +1,7 @@
 // Public configuration types of the RTNN library.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 
 namespace rtnn {
@@ -29,6 +30,31 @@ struct OptimizationFlags {
   static OptimizationFlags scheduling_only() { return {true, false, false}; }
   static OptimizationFlags no_bundling() { return {true, true, false}; }
   static OptimizationFlags all() { return {true, true, true}; }
+};
+
+/// Two-level (tiled) index configuration: when enabled, the base-width
+/// acceleration structure becomes a TLAS over Morton-contiguous spatial
+/// tiles, each owning its own bottom-level BVH — index updates become
+/// per-tile decisions (a moving vehicle touches a handful of tiles
+/// instead of refitting the monolith) and tiles can build lazily on
+/// first route. Candidate sets are identical to the monolithic index by
+/// construction. Tiling replaces megacell query partitioning when
+/// active: both are spatial decompositions of the same launch, so
+/// search() disables partitioning/bundling rather than stacking them.
+struct TileOptions {
+  /// Points per tile the planner aims for; clouds at or below this stay
+  /// monolithic. 0 = tiling off (the default — monolithic semantics and
+  /// timing profile are unchanged).
+  std::size_t tile_threshold = 0;
+  /// Upper bound on the tile count, whatever the cloud size.
+  /// 0 = unbounded (the codebase-wide "0 = no cap" contract).
+  std::uint32_t max_tiles = 0;
+  /// Build each tile's bottom-level index on its first routed ray
+  /// instead of at set_points() time (build-on-first-route; the deferred
+  /// cost lands inside the first launch that reaches the tile).
+  bool lazy_build = true;
+
+  bool enabled() const { return tile_threshold > 0; }
 };
 
 /// The answer-shaping subset of SearchParams: two requests whose keys

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "core/failpoint.hpp"
+#include "engine/backends.hpp"
 #include "engine/registry.hpp"
 #include "engine/sharded_backend.hpp"
 #include "rtnn/batch_optimizer.hpp"
@@ -99,7 +100,20 @@ std::unique_ptr<engine::SearchBackend> make_cloud_backend(const CloudConfig& con
     sharding.allow_degraded = config.shard_allow_degraded;
     return std::make_unique<engine::ShardedBackend>(config.backend, sharding);
   }
-  return engine::make_backend(config.backend);
+  std::unique_ptr<engine::SearchBackend> backend = engine::make_backend(config.backend);
+  // Unsharded path only: forward the cloud's tiling knobs so a large
+  // cloud's base index becomes a TLAS over Morton tiles. Only the full
+  // rtnn engine owns the tiled lifecycle; other backends ignore them.
+  if (config.tile_threshold > 0) {
+    if (auto* rtnn = dynamic_cast<engine::RtnnBackend*>(backend.get())) {
+      TileOptions tiling;
+      tiling.tile_threshold = config.tile_threshold;
+      tiling.max_tiles = config.max_tiles;
+      tiling.lazy_build = config.lazy_tile_build;
+      rtnn->core().set_tiling(tiling);
+    }
+  }
+  return backend;
 }
 
 bool expired(const RequestPtr& request) {
@@ -213,7 +227,13 @@ CloudHandle SearchService::register_cloud(const std::string& name,
                                           std::span<const Vec3> points,
                                           const CloudConfig& config) {
   RTNN_CHECK(!name.empty(), "a cloud needs a name");
-  RTNN_CHECK(!points.empty(), "a cloud needs points");
+  // Typed rejection, not a raw RTNN_CHECK: a sharded tenant registering a
+  // degenerate cloud would otherwise surface the backend's internal
+  // "cannot shard an empty cloud" invariant instead of a door-level error.
+  if (points.empty()) {
+    throw ServiceError(RejectReason::kInvalid,
+                       "register_cloud('" + name + "'): a cloud needs points");
+  }
   RTNN_CHECK(!stopped_.load(), "service is shut down");
   {
     // Early duplicate check so a losing caller fails before paying for
@@ -579,7 +599,10 @@ RequestOutcome SearchService::query(std::span<const Vec3> queries,
 
 void SearchService::update_points(const CloudHandle& cloud,
                                   std::span<const Vec3> points) {
-  RTNN_CHECK(!points.empty(), "an update needs points");
+  if (points.empty()) {
+    throw ServiceError(RejectReason::kInvalid,
+                       "update_points: an update needs points");
+  }
   const CloudPtr state = resolve(cloud);
   if (stopped_.load()) throw ServiceError(RejectReason::kShutdown,
                                           "service is shut down");

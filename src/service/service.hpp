@@ -78,6 +78,13 @@
 //               |                      | instead of serving them). A
 //               |                      | shutdown drain still *serves*
 //               |                      | requests admitted in time.
+//   kInvalid    | register_cloud(),    | Malformed input refused at the
+//               | update_points()      | door: an empty point cloud (a
+//               |                      | cloud with no points has no
+//               |                      | bounds to index or route by —
+//               |                      | drop_cloud() is the way to
+//               |                      | retire one). Nothing was
+//               |                      | registered or modified.
 //
 // Never silent: every admitted ticket is eventually signaled — served,
 // or rejected with one of the reasons above — even across a watchdog
@@ -161,6 +168,7 @@ enum class RejectReason : std::uint8_t {
   kAdmission,  // shed at submit() by the token bucket / queue-depth cap
   kShutdown,   // service shut down or cloud dropped before serving
   kDeadline,   // the request's deadline expired before its launch started
+  kInvalid,    // malformed registration/update (e.g. an empty point cloud)
 };
 
 /// What Ticket::get()/try_get() (and refused submits) throw. Derives
@@ -233,8 +241,23 @@ struct CloudConfig {
   /// whole). Clouds at or below the threshold behave byte-identically
   /// to an unsharded cloud.
   std::size_t shard_threshold = 0;
-  /// Upper bound on the split, whatever the cloud size.
+  /// Upper bound on the split, whatever the cloud size. 0 = unbounded
+  /// (the codebase-wide "0 = no cap" contract).
   std::uint32_t max_shards = 16;
+
+  // --- Two-level tiled index (rtnn::TileOptions; unsharded clouds
+  // only — a sharded cloud already decomposes spatially per shard) ---
+
+  /// Points per tile before this cloud's base index becomes a TLAS over
+  /// Morton-contiguous tiles instead of one monolithic BVH. 0 = never
+  /// tile. Ignored when the cloud shards (shard_threshold wins; tiling a
+  /// shard would nest two spatial splits for no locality gain).
+  std::size_t tile_threshold = 0;
+  /// Upper bound on the tile count. 0 = unbounded.
+  std::uint32_t max_tiles = 0;
+  /// Defer each tile's bottom-level build until a query first routes to
+  /// it; registration pays only tile bounds and the top-level tree.
+  bool lazy_tile_build = true;
 
   // --- Per-shard fault isolation (engine::ShardingOptions; the
   // degradation ladder: retry -> degrade-or-fail) ---

@@ -705,3 +705,43 @@ TEST(ErrorContract, EveryRejectReasonSurfacesThroughGetAndTryGet) {
     EXPECT_EQ(reason_via_try_get(missed_b), RejectReason::kDeadline);
   }
 }
+
+TEST(ErrorContract, EmptyCloudsAreRefusedTyped) {
+  // Regression: an empty registration or update on a *sharded* tenant
+  // used to fall through to the backend's raw
+  // RTNN_CHECK(!points.empty()) internals instead of a typed door-level
+  // rejection. Both doors must throw ServiceError(kInvalid) for every
+  // cloud shape, and leave the registry untouched.
+  const std::vector<Vec3> cloud = make_cloud(CloudKind::kUniform, 400, kSeed);
+  const std::vector<Vec3> empty;
+
+  SearchService service;
+  CloudConfig sharded;
+  sharded.shard_threshold = 64;
+  sharded.max_shards = 4;
+  for (const auto& [label, config] :
+       {std::pair<const char*, CloudConfig>{"plain", CloudConfig{}},
+        std::pair<const char*, CloudConfig>{"sharded", sharded}}) {
+    SCOPED_TRACE(label);
+    try {
+      (void)service.register_cloud(std::string("empty-") + label, empty, config);
+      FAIL() << "empty registration must throw";
+    } catch (const ServiceError& error) {
+      EXPECT_EQ(error.reason(), RejectReason::kInvalid);
+    }
+    // Nothing was registered: the name is free for a real cloud.
+    const CloudHandle handle =
+        service.register_cloud(std::string("empty-") + label, cloud, config);
+
+    try {
+      service.update_points(handle, empty);
+      FAIL() << "empty update must throw";
+    } catch (const ServiceError& error) {
+      EXPECT_EQ(error.reason(), RejectReason::kInvalid);
+    }
+    // The cloud still serves its original points after the refused update.
+    const SearchParams params = knn_params(typical_radius(CloudKind::kUniform));
+    const std::vector<Vec3> queries(cloud.begin(), cloud.begin() + 8);
+    EXPECT_EQ(service.query(handle, queries, params).result.num_queries(), queries.size());
+  }
+}

@@ -68,7 +68,17 @@ TEST(ShardPlanning, ShardCountFollowsThresholdAndCap) {
   EXPECT_EQ(plan_shard_count(5000, 1000, 16), 5u);  // ceil(n / threshold)
   EXPECT_EQ(plan_shard_count(5001, 1000, 16), 6u);
   EXPECT_EQ(plan_shard_count(100'000, 1000, 16), 16u);  // capped
-  EXPECT_EQ(plan_shard_count(100'000, 1000, 0), 1u);    // degenerate cap
+}
+
+TEST(ShardPlanning, ZeroCapMeansUnbounded) {
+  // max_shards = 0 is the documented "unbounded" contract (shared by
+  // CloudConfig, TileOptions and the batch optimizer's max_bin_queries):
+  // the split follows ceil(n / threshold) however large the cloud. The
+  // old behavior clamped 0 to a cap of 1, silently disabling sharding.
+  EXPECT_EQ(plan_shard_count(100'000, 1000, 0), 100u);
+  EXPECT_EQ(plan_shard_count(5001, 1000, 0), 6u);
+  EXPECT_EQ(plan_shard_count(1000, 1000, 0), 1u);  // under threshold: whole
+  EXPECT_EQ(plan_shard_count(1000, 0, 0), 1u);     // threshold 0 still = off
 }
 
 // --- plan_shards -------------------------------------------------------------
@@ -240,6 +250,43 @@ TEST(ShardedBackend, MatchesBruteForceAcrossCloudKinds) {
     expect_sharded_parity(points, queries, typical_radius(kind),
                           rtnn::testing::to_string(kind));
   }
+}
+
+TEST(ShardedBackend, CountsOnlyTruncationMatchesUnsharded) {
+  // Pins the audit of gather_shard_results' counts-only clamp
+  // (min(K, sum of partial counts)): for every K down to 1 the sharded
+  // counts must equal the unsharded truncation min(K, true count), in
+  // both modes. K = 0 is not a legal truncation — the whole stack
+  // rejects it at the door, sharded and unsharded alike, so the clamp
+  // never sees it.
+  const std::vector<Vec3> points = make_cloud(CloudKind::kUniform, 384, kSeed);
+  const std::vector<Vec3> queries = make_cloud(CloudKind::kUniform, 48, kSeed + 11);
+  const float radius = 2.0f * typical_radius(CloudKind::kUniform);  // dense: counts >> 1
+
+  auto reference = engine::make_backend("brute_force");
+  reference->set_points(points);
+  engine::ShardedBackend sharded = make_sharded(points);
+  ASSERT_GT(sharded.shard_count(), 1u);
+
+  for (const std::uint32_t k : {1u, 2u, 5u, 32u}) {
+    SearchParams counts = range_params(radius, k);
+    counts.store_indices = false;
+    rtnn::testing::expect_counts_equal(sharded.search(queries, counts),
+                                       reference->search(queries, counts, nullptr),
+                                       "counts range k=" + std::to_string(k));
+    SearchParams knn = knn_params(radius, k);
+    knn.store_indices = false;
+    rtnn::testing::expect_counts_equal(sharded.search(queries, knn),
+                                       reference->search(queries, knn, nullptr),
+                                       "counts knn k=" + std::to_string(k));
+  }
+
+  SearchParams zero = range_params(radius, 1);
+  zero.k = 0;
+  EXPECT_THROW((void)sharded.search(queries, zero), Error);
+  auto unsharded = engine::make_backend("rtnn");
+  unsharded->set_points(points);
+  EXPECT_THROW((void)unsharded->search(queries, zero, nullptr), Error);
 }
 
 TEST(ShardedBackend, BelowThresholdDelegatesWhole) {

@@ -1,0 +1,456 @@
+// Two-level (TLAS/BLAS) index tests: rt::TiledBvh structure and lazy
+// build, per-tile copy-on-write across updates, tiled-vs-monolithic
+// search parity (static and over dynamic frame sequences), locality of
+// per-frame update work, and the service-level tiling knobs.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "core/rng.hpp"
+#include "datasets/motion.hpp"
+#include "optix/optix.hpp"
+#include "rtcore/tlas.hpp"
+#include "rtcore/traversal.hpp"
+#include "rtnn/sharding.hpp"
+#include "rtnn/stages.hpp"
+#include "service/service.hpp"
+#include "test_util.hpp"
+
+namespace rtnn {
+namespace {
+
+using rtnn::testing::CloudKind;
+
+/// Morton-contiguous tile memberships, the same planner the pipeline uses.
+std::vector<std::vector<std::uint32_t>> plan_tiles(std::span<const Vec3> points,
+                                                   std::uint32_t num_tiles) {
+  ShardPlan plan = plan_shards(points, num_tiles);
+  std::vector<std::vector<std::uint32_t>> tile_ids;
+  tile_ids.reserve(plan.shards.size());
+  for (ShardPlan::Shard& shard : plan.shards) {
+    tile_ids.push_back(std::move(shard.point_ids));
+  }
+  return tile_ids;
+}
+
+/// Records every primitive the IS stage sees, per ray (global ids).
+struct Collector {
+  std::vector<std::set<std::uint32_t>> hits;
+  explicit Collector(std::size_t rays) : hits(rays) {}
+  rt::TraceAction intersect(std::uint32_t ray, std::uint32_t prim) {
+    hits[ray].insert(prim);
+    return rt::TraceAction::kContinue;
+  }
+};
+
+std::vector<Ray> short_rays(std::span<const Vec3> queries) {
+  std::vector<Ray> rays;
+  rays.reserve(queries.size());
+  for (const Vec3& q : queries) rays.push_back(Ray::short_ray(q));
+  return rays;
+}
+
+TileOptions small_tiles(std::size_t threshold = 48) {
+  TileOptions tiling;
+  tiling.tile_threshold = threshold;
+  return tiling;
+}
+
+// --- rt::TiledBvh structure --------------------------------------------------
+
+TEST(TiledBvh, BuildPartitionsAndValidates) {
+  const std::vector<Vec3> points = rtnn::testing::make_cloud(CloudKind::kUniform, 4000, 3);
+  rt::TiledBvh tlas;
+  tlas.build(points, 0.1f, plan_tiles(points, 8));
+  tlas.validate();
+
+  EXPECT_EQ(tlas.tile_count(), 8u);
+  EXPECT_EQ(tlas.built_tile_count(), 8u) << "eager build must build every tile";
+  EXPECT_EQ(tlas.prim_count(), points.size());
+  EXPECT_EQ(tlas.top().prim_count(), 8u) << "one top-level prim per tile";
+
+  const rt::TiledBvhStats stats = tlas.stats(/*compressed=*/true);
+  EXPECT_EQ(stats.tile_count, 8u);
+  EXPECT_EQ(stats.built_tiles, 8u);
+  EXPECT_GT(stats.node_bytes, 0u);
+  EXPECT_GT(stats.total_index_bytes, stats.node_bytes);
+
+  // Tiles partition the ids.
+  std::set<std::uint32_t> seen;
+  for (std::uint32_t t = 0; t < tlas.tile_count(); ++t) {
+    for (const std::uint32_t id : tlas.tile(t).prim_ids()) {
+      EXPECT_TRUE(seen.insert(id).second) << "id " << id << " in two tiles";
+    }
+  }
+  EXPECT_EQ(seen.size(), points.size());
+}
+
+TEST(TiledBvh, TraversalMatchesMonolithicCandidateSets) {
+  // The exactness claim at the rt:: level: the TLAS walk must surface the
+  // byte-identical candidate set (same global prim ids) the monolithic
+  // walk surfaces, compressed and uncompressed alike.
+  const std::vector<Vec3> points = rtnn::testing::make_cloud(CloudKind::kLidar, 5000, 7);
+  const float width = 2.5f;
+
+  std::vector<Aabb> aabbs;
+  aabbs.reserve(points.size());
+  for (const Vec3& p : points) aabbs.push_back(Aabb::cube(p, width));
+  rt::Bvh mono;
+  mono.build(aabbs);
+  rt::WideBvh wide;
+  wide.build(mono);
+
+  rt::TiledBvh tlas;
+  tlas.build(points, width, plan_tiles(points, 11));
+  tlas.validate();
+
+  Pcg32 rng(99);
+  std::vector<Vec3> queries;
+  for (int i = 0; i < 300; ++i) queries.push_back(rng.uniform_in_aabb(tlas.scene_bounds()));
+  const std::vector<Ray> rays = short_rays(queries);
+
+  Collector expected(queries.size());
+  rt::trace(wide, rays, expected);
+
+  for (const bool compressed : {false, true}) {
+    SCOPED_TRACE(compressed ? "compressed" : "fp32");
+    rt::TraceConfig config;
+    config.use_compressed = compressed;
+    Collector got(queries.size());
+    rt::trace(tlas, rays, got, config);
+    for (std::size_t q = 0; q < queries.size(); ++q) {
+      ASSERT_EQ(got.hits[q], expected.hits[q]) << "query " << q;
+    }
+  }
+}
+
+TEST(TiledBvh, LazyTilesBuildOnFirstRoute) {
+  const std::vector<Vec3> points = rtnn::testing::make_cloud(CloudKind::kUniform, 4000, 11);
+  rt::TiledBvh tlas;
+  rt::TiledBuildOptions options;
+  options.lazy_build = true;
+  tlas.build(points, 0.05f, plan_tiles(points, 16), options);
+  tlas.validate();  // must hold for unbuilt tiles too
+
+  EXPECT_EQ(tlas.built_tile_count(), 0u) << "lazy build defers every BLAS";
+  // No BLAS bytes are resident yet; the total is just the small top tree.
+  EXPECT_EQ(tlas.stats(true).node_bytes, 0u);
+  const std::uint64_t top_bytes = tlas.stats(true).total_index_bytes;
+  EXPECT_GT(top_bytes, 0u);
+
+  // Rays confined to one corner of the scene must force only the tiles
+  // they route through resident, not the whole index.
+  const Aabb scene = tlas.scene_bounds();
+  const Vec3 extent = scene.hi - scene.lo;
+  Aabb corner = scene;
+  corner.hi = scene.lo + Vec3{0.2f * extent.x, 0.2f * extent.y, 0.2f * extent.z};
+  Pcg32 rng(5);
+  std::vector<Vec3> queries;
+  for (int i = 0; i < 64; ++i) queries.push_back(rng.uniform_in_aabb(corner));
+  Collector collector(queries.size());
+  rt::trace(tlas, short_rays(queries), collector);
+
+  EXPECT_GT(tlas.built_tile_count(), 0u);
+  EXPECT_LT(tlas.built_tile_count(), tlas.tile_count())
+      << "corner queries must not force the whole index resident";
+
+  // ensure_all_built is the eager escape hatch.
+  tlas.ensure_all_built();
+  EXPECT_EQ(tlas.built_tile_count(), tlas.tile_count());
+  tlas.validate();
+}
+
+TEST(TiledBvh, UpdateTouchesOnlyMovedTiles) {
+  const std::vector<Vec3> points = rtnn::testing::make_cloud(CloudKind::kUniform, 3000, 13);
+  rt::TiledBvh tlas;
+  tlas.build(points, 0.08f, plan_tiles(points, 10));
+
+  // Move exactly the members of tile 3.
+  std::vector<Vec3> moved = points;
+  const std::uint32_t target = 3;
+  for (const std::uint32_t id : tlas.tile(target).prim_ids()) {
+    moved[id].z += 0.01f;
+  }
+
+  std::vector<const rt::TiledBvh::TileIndex*> before;
+  for (std::uint32_t t = 0; t < tlas.tile_count(); ++t) {
+    before.push_back(tlas.tile(t).index());
+  }
+
+  const rt::TiledUpdateStats stats =
+      tlas.update(moved, [](double) { return rt::TileUpdate::kRefit; });
+  tlas.validate();
+
+  EXPECT_EQ(stats.tiles_touched, 1u);
+  EXPECT_EQ(stats.tile_refits, 1u);
+  EXPECT_EQ(stats.tile_rebuilds, 0u);
+  for (std::uint32_t t = 0; t < tlas.tile_count(); ++t) {
+    if (t == target) {
+      EXPECT_NE(tlas.tile(t).index(), before[t]) << "touched tile must be replaced";
+    } else {
+      EXPECT_EQ(tlas.tile(t).index(), before[t]) << "untouched tile must be shared";
+    }
+  }
+}
+
+TEST(TiledBvh, CopiesShareTilesUntilUpdate) {
+  // The per-tile copy-on-write contract: a copy answers the old frame
+  // after the original absorbs motion, and untouched tiles stay shared.
+  const std::vector<Vec3> points = rtnn::testing::make_cloud(CloudKind::kUniform, 2000, 17);
+  rt::TiledBvh live;
+  live.build(points, 0.08f, plan_tiles(points, 6));
+  rt::TiledBvh snapshot = live;  // shares every tile
+
+  std::vector<Vec3> moved = points;
+  const std::uint32_t id = live.tile(0).prim_ids()[0];
+  moved[id].x += 0.5f;
+  live.update(moved, [](double) { return rt::TileUpdate::kRebuild; });
+
+  // The snapshot still holds the pre-move position; the live index holds
+  // the new one.
+  EXPECT_EQ(snapshot.tile(0).positions()[0], points[id]);
+  EXPECT_EQ(live.tile(0).positions()[0], moved[id]);
+  // Tiles 1.. are still literally the same objects.
+  for (std::uint32_t t = 1; t < live.tile_count(); ++t) {
+    EXPECT_EQ(&live.tile(t), &snapshot.tile(t));
+  }
+  snapshot.validate();
+  live.validate();
+}
+
+// --- Tiled pipeline parity ---------------------------------------------------
+
+/// Range + KNN parity between a tiled and a monolithic NeighborSearch
+/// over the same cloud/queries. Range K is set above every true count so
+/// the result set is unique; KNN is compared tie-tolerantly per the
+/// suite's convention.
+void expect_tiled_parity(const std::vector<Vec3>& points, const std::vector<Vec3>& queries,
+                         float radius, const TileOptions& tiling,
+                         const std::string& label,
+                         NeighborSearch::Report* tiled_report = nullptr) {
+  NeighborSearch mono;
+  mono.set_points(points);
+  NeighborSearch tiled;
+  tiled.set_tiling(tiling);
+  tiled.set_points(points);
+
+  SearchParams range;
+  range.mode = SearchMode::kRange;
+  range.radius = radius;
+  range.k = static_cast<std::uint32_t>(points.size());
+  const NeighborResult range_expected = mono.search(queries, range, nullptr);
+  NeighborSearch::Report report;
+  const NeighborResult range_got = tiled.search(queries, range, &report);
+  rtnn::testing::expect_same_neighbor_sets(range_got, range_expected, label + " range");
+  EXPECT_GT(report.tile_count, 1u) << label << ": tiling must actually engage";
+
+  SearchParams knn;
+  knn.mode = SearchMode::kKnn;
+  knn.radius = radius;
+  knn.k = 8;
+  const NeighborResult knn_expected = mono.search(queries, knn, nullptr);
+  const NeighborResult knn_got = tiled.search(queries, knn, &report);
+  rtnn::testing::expect_knn_distances_match(points, queries, knn_got, knn_expected,
+                                            label + " knn");
+  if (tiled_report) *tiled_report = report;
+}
+
+TEST(TiledSearch, MatchesMonolithicAcrossCloudKinds) {
+  for (const CloudKind kind :
+       {CloudKind::kUniform, CloudKind::kLidar, CloudKind::kSurface, CloudKind::kNBody}) {
+    const std::vector<Vec3> points = rtnn::testing::make_cloud(kind, 3000, 23);
+    const std::vector<Vec3> queries = rtnn::testing::make_cloud(kind, 400, 29);
+    expect_tiled_parity(points, queries, rtnn::testing::typical_radius(kind),
+                        small_tiles(/*threshold=*/256),
+                        "kind=" + std::to_string(static_cast<int>(kind)));
+  }
+}
+
+TEST(TiledSearch, LazyAndEagerAgree) {
+  const std::vector<Vec3> points = rtnn::testing::make_cloud(CloudKind::kLidar, 4000, 31);
+  const std::vector<Vec3> queries = rtnn::testing::make_cloud(CloudKind::kLidar, 300, 37);
+  for (const bool lazy : {false, true}) {
+    TileOptions tiling = small_tiles(/*threshold=*/256);
+    tiling.lazy_build = lazy;
+    NeighborSearch::Report report;
+    expect_tiled_parity(points, queries, rtnn::testing::typical_radius(CloudKind::kLidar),
+                        tiling, lazy ? "lazy" : "eager", &report);
+    if (lazy) {
+      EXPECT_GT(report.tile_lazy_builds, 0u)
+          << "lazy tiling must account its build-on-first-route work";
+    }
+  }
+}
+
+TEST(TiledSearch, MaxTilesCapsAndZeroMeansUnbounded) {
+  const std::vector<Vec3> points = rtnn::testing::make_cloud(CloudKind::kUniform, 2000, 41);
+  const std::vector<Vec3> queries = rtnn::testing::make_cloud(CloudKind::kUniform, 100, 43);
+  const float radius = rtnn::testing::typical_radius(CloudKind::kUniform);
+
+  TileOptions capped = small_tiles(/*threshold=*/100);
+  capped.max_tiles = 4;
+  NeighborSearch::Report report;
+  expect_tiled_parity(points, queries, radius, capped, "capped", &report);
+  EXPECT_EQ(report.tile_count, 4u);
+
+  TileOptions unbounded = small_tiles(/*threshold=*/100);
+  unbounded.max_tiles = 0;  // the codebase-wide "0 = no cap" contract
+  expect_tiled_parity(points, queries, radius, unbounded, "unbounded", &report);
+  EXPECT_EQ(report.tile_count, 20u) << "ceil(2000/100) tiles when uncapped";
+}
+
+// --- Dynamic sequences -------------------------------------------------------
+
+TEST(TiledDynamic, DriftFramesMatchMonolithic) {
+  // Drift motion (point identity preserved, small displacement): the
+  // refit-friendly regime. Both engines run the persistent-index
+  // lifecycle; the tiled one must answer every frame identically while
+  // doing per-tile update work.
+  const std::vector<Vec3> initial = rtnn::testing::make_cloud(CloudKind::kNBody, 3000, 47);
+  data::DriftParams drift;
+  drift.velocity = 0.02f;
+  data::DriftMotion motion(initial, drift);
+
+  SearchParams params;
+  params.mode = SearchMode::kRange;
+  params.radius = rtnn::testing::typical_radius(CloudKind::kNBody);
+  // K above every possible count: which K survive a truncation is
+  // backend-defined, so only the untruncated set is comparable.
+  params.k = static_cast<std::uint32_t>(initial.size());
+
+  NeighborSearch mono;
+  mono.set_index_persistence(true);
+  mono.set_points(initial);
+  NeighborSearch tiled;
+  TileOptions tiling = small_tiles(/*threshold=*/256);
+  tiling.lazy_build = false;  // every touched tile is built, so the
+                              // refit+rebuild == touched identity holds
+  tiled.set_tiling(tiling);
+  tiled.set_index_persistence(true);
+  tiled.set_points(initial);
+
+  NeighborSearch::Report total;
+  for (int frame = 0; frame < 5; ++frame) {
+    const std::vector<Vec3>& points = frame == 0 ? initial : motion.step();
+    if (frame > 0) {
+      mono.update_points(points);
+      tiled.update_points(points);
+    }
+    const std::vector<Vec3> queries(points.begin(), points.begin() + 200);
+    const NeighborResult expected = mono.search(queries, params, nullptr);
+    NeighborSearch::Report report;
+    const NeighborResult got = tiled.search(queries, params, &report);
+    rtnn::testing::expect_same_neighbor_sets(got, expected,
+                                             "drift frame " + std::to_string(frame));
+    total += report;
+  }
+  // Drift moves every point, so every frame touches every tile.
+  EXPECT_GT(total.tiles_touched, 0u);
+  EXPECT_EQ(total.tile_refits + total.tile_rebuilds, total.tiles_touched)
+      << "every touched built tile is refit or rebuilt";
+  EXPECT_EQ(total.accel_refits + total.accel_rebuilds, 0u)
+      << "tiled updates must not count as monolithic refits/rebuilds";
+}
+
+TEST(TiledDynamic, LidarSweepFramesMatchMonolithic) {
+  // Sweep frames share no per-point correspondence: the regime where
+  // refit quality collapses and the per-tile policy must start choosing
+  // rebuilds. Parity must hold regardless of what the policy picks.
+  data::LidarParams base;
+  base.target_points = 4000;
+  base.seed = 53;
+  data::LidarSweep sweep(base, /*frame_advance_m=*/2.0f);
+
+  SearchParams params;
+  params.mode = SearchMode::kRange;
+  params.radius = 1.2f;
+  // Untruncated set (see the drift test).
+  params.k = static_cast<std::uint32_t>(base.target_points);
+
+  NeighborSearch mono;
+  mono.set_index_persistence(true);
+  NeighborSearch tiled;
+  tiled.set_tiling(small_tiles(/*threshold=*/256));
+  tiled.set_index_persistence(true);
+
+  NeighborSearch::Report total;
+  for (std::uint32_t frame = 0; frame < 4; ++frame) {
+    const data::PointCloud points = sweep.frame(frame);
+    if (frame == 0) {
+      mono.set_points(points);
+      tiled.set_points(points);
+    } else {
+      mono.update_points(points);
+      tiled.update_points(points);
+    }
+    const std::vector<Vec3> queries(points.begin(), points.begin() + 200);
+    const NeighborResult expected = mono.search(queries, params, nullptr);
+    NeighborSearch::Report report;
+    const NeighborResult got = tiled.search(queries, params, &report);
+    rtnn::testing::expect_same_neighbor_sets(got, expected,
+                                             "sweep frame " + std::to_string(frame));
+    total += report;
+  }
+  EXPECT_GT(total.tiles_touched, 0u);
+}
+
+TEST(TiledDynamic, LocalizedMotionTouchesFewTiles) {
+  // The locality headline: motion confined to one spatial region must
+  // leave most tiles untouched (the monolithic path refits everything).
+  const std::vector<Vec3> points = rtnn::testing::make_cloud(CloudKind::kUniform, 4000, 59);
+  NeighborSearch tiled;
+  tiled.set_tiling(small_tiles(/*threshold=*/250));
+  tiled.set_index_persistence(true);
+  tiled.set_points(points);
+
+  SearchParams params;
+  params.mode = SearchMode::kRange;
+  params.radius = rtnn::testing::typical_radius(CloudKind::kUniform);
+  params.k = 64;
+  const std::vector<Vec3> queries(points.begin(), points.begin() + 100);
+  tiled.search(queries, params, nullptr);  // frame 0: build
+
+  // Move only the points inside a small ball around one anchor; Morton
+  // tiles are spatially compact, so few of them can intersect it.
+  std::vector<Vec3> moved = points;
+  const Vec3 anchor = points[0];
+  for (Vec3& p : moved) {
+    if (distance2(p, anchor) < 0.01f) p.z += 0.002f;
+  }
+  tiled.update_points(moved);
+
+  NeighborSearch::Report report;
+  tiled.search(queries, params, &report);
+  ASSERT_GT(report.tile_count, 4u);
+  EXPECT_GE(report.tiles_touched, 1u);
+  EXPECT_LT(report.tiles_touched, report.tile_count / 2)
+      << "local motion must not touch most of the index";
+}
+
+// --- Service composition -----------------------------------------------------
+
+TEST(TiledService, TiledCloudServesIdenticalResults) {
+  const std::vector<Vec3> points = rtnn::testing::make_cloud(CloudKind::kUniform, 2000, 61);
+  const std::vector<Vec3> queries = rtnn::testing::make_cloud(CloudKind::kUniform, 128, 67);
+  SearchParams params;
+  params.mode = SearchMode::kRange;
+  params.radius = rtnn::testing::typical_radius(CloudKind::kUniform);
+  params.k = static_cast<std::uint32_t>(points.size());
+
+  service::SearchService svc{service::ServiceConfig{}};
+  service::CloudConfig plain;
+  service::CloudConfig tiled;
+  tiled.tile_threshold = 256;
+  tiled.lazy_tile_build = true;
+  const auto plain_handle = svc.register_cloud("plain", points, plain);
+  const auto tiled_handle = svc.register_cloud("tiled", points, tiled);
+
+  const NeighborResult expected = svc.query(plain_handle, queries, params).result;
+  const NeighborResult got = svc.query(tiled_handle, queries, params).result;
+  rtnn::testing::expect_same_neighbor_sets(got, expected, "service tiled");
+}
+
+}  // namespace
+}  // namespace rtnn

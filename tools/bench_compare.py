@@ -75,6 +75,13 @@ ADMISSION_METRICS = frozenset(
     }
 )
 
+# The two-level tiled index publishes its per-frame locality as scalars
+# (dynamic.tiled emits them as ``tiled.*``): the touched-tile fraction is
+# the headline — how little of the index a frame of localized motion
+# actually paid for — next to the tile count, the lazy build-on-first-route
+# count, and the resident tile index bytes.
+TILED_METRIC_PREFIX = "tiled."
+
 
 def index_stage_metrics(report):
     """{(case_name, metric_name): value} for breakdown metrics.
@@ -87,16 +94,21 @@ def index_stage_metrics(report):
     (``flat.stage.*`` / ``sharded.stage.*``), fig11 emits it per dataset
     for the rtnn backend (``knn.rtnn.<ds>.stage.*``), and the
     multi-tenant overload case (serving.multi_tenant.*) contributes its
-    admission scalars (ADMISSION_METRICS).
+    admission scalars (ADMISSION_METRICS), and the tiled-index cases
+    contribute their per-tile locality scalars (``tiled.*``).
     """
     metrics = {}
     for case in report.get("cases", []):
         if case.get("status") != "ok":
             continue
         for metric in case.get("metrics", []):
-            if "stage." in metric["name"] or (
-                case["name"].startswith("serving.")
-                and metric["name"] in ADMISSION_METRICS
+            if (
+                "stage." in metric["name"]
+                or metric["name"].startswith(TILED_METRIC_PREFIX)
+                or (
+                    case["name"].startswith("serving.")
+                    and metric["name"] in ADMISSION_METRICS
+                )
             ):
                 metrics[(case["name"], metric["name"])] = float(metric["value"])
     return metrics
